@@ -1,0 +1,80 @@
+"""Fig. 5 — visual comparison of predicted IR-drop maps.
+
+Trains IREDGe, IRPnet and LMM-IR at a small budget, then exports the
+paper's four-panel comparison (IREDGe / IRPnet / Ours / ground truth) for
+the analogue of the paper's showcase case (testcase10) as colour PPM
+images and an ASCII panel under ``benchmarks/artifacts/``.
+
+The benchmark target times the figure-export path itself (three model
+inferences + image encoding).
+"""
+
+import os
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.core.registry import OURS
+from repro.eval.figures import export_visual_comparison
+from repro.eval.harness import EvalConfig, train_predictor
+from repro.metrics.regression import correlation
+
+FIG5_MODELS = ["IREDGe", "IRPnet", OURS]
+
+
+@pytest.fixture(scope="module")
+def predictors(bench_suite):
+    config = EvalConfig.from_env()
+    return [train_predictor(name, bench_suite, config)[0]
+            for name in FIG5_MODELS]
+
+
+@pytest.fixture(scope="module")
+def showcase(bench_suite):
+    by_name = {c.name: c for c in bench_suite.hidden_cases}
+    return by_name.get("testcase10", bench_suite.hidden_cases[0])
+
+
+def test_fig5_visualization(predictors, showcase, artifact_dir, benchmark):
+    maps = benchmark.pedantic(
+        lambda: export_visual_comparison(showcase, predictors,
+                                         output_dir=artifact_dir),
+        rounds=1, iterations=1)
+    assert set(maps) == set(FIG5_MODELS) | {"G.T."}
+
+    files = os.listdir(artifact_dir)
+    assert f"{showcase.name}_comparison.ppm" in files
+    assert f"{showcase.name}_comparison.txt" in files
+
+    emit(artifact_dir, "fig5_summary.txt", _summary(maps))
+
+
+def _summary(maps):
+    truth = maps["G.T."]
+    lines = [f"Fig.5 analogue — correlation with ground truth "
+             f"({truth.shape[0]}x{truth.shape[1]} px):"]
+    for name, array in maps.items():
+        if name == "G.T.":
+            continue
+        lines.append(f"  {name:<14} corr {correlation(array, truth):5.2f}  "
+                     f"peak ratio {array.max() / truth.max():5.2f}")
+    return "\n".join(lines)
+
+
+def test_ours_tracks_truth_best_or_close(predictors, showcase):
+    """Ours must be at least competitive in pattern correlation."""
+    scores = {}
+    for predictor in predictors:
+        predicted, _ = predictor.predict_case(showcase)
+        scores[predictor.name] = correlation(predicted, showcase.ir_map)
+    assert scores[OURS] >= max(scores.values()) - 0.35
+
+
+def test_figure_export_cost(benchmark, predictors, showcase, artifact_dir):
+    """Benchmark: full Fig.5 export (3 inferences + image encoding)."""
+    maps = benchmark.pedantic(
+        lambda: export_visual_comparison(showcase, predictors,
+                                         output_dir=artifact_dir),
+        rounds=2, iterations=1)
+    assert maps["G.T."].max() > 0

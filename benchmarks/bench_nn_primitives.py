@@ -1,0 +1,93 @@
+"""Extra experiment — NN primitive throughput.
+
+TAT claims rest on operator cost; these micro-benchmarks record the cost
+of the operators dominating LMM-IR: the 7x7/5x5 circuit-encoder
+convolutions, the LNT self-attention block, and the cross-attention
+fusion, each forward+backward at bench scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+def _bench_forward_backward(benchmark, builder, *input_shapes):
+    nn.init.seed(0)
+    module = builder()
+    inputs = [nn.Tensor(RNG.normal(size=s), requires_grad=True)
+              for s in input_shapes]
+
+    def step():
+        out = module(*inputs)
+        loss = F.sum(F.mul(out, out))
+        for tensor in inputs:
+            tensor.zero_grad()
+        module.zero_grad()
+        loss.backward()
+        return float(loss.data)
+
+    value = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(value)
+
+
+def test_conv7x7_encoder_block(benchmark):
+    from repro.core.circuit_encoder import ConvBlock
+
+    _bench_forward_backward(
+        benchmark, lambda: ConvBlock(6, 10, kernel_size=7), (2, 6, 48, 48))
+
+
+def test_conv5x5_encoder_block(benchmark):
+    from repro.core.circuit_encoder import ConvBlock
+
+    _bench_forward_backward(
+        benchmark, lambda: ConvBlock(6, 10, kernel_size=5), (2, 6, 48, 48))
+
+
+def test_lnt_self_attention_block(benchmark):
+    _bench_forward_backward(
+        benchmark, lambda: nn.TransformerEncoderBlock(dim=32, num_heads=4),
+        (2, 192, 32))
+
+
+def test_cross_attention_fusion(benchmark):
+    from repro.core.fusion import MultimodalFusion
+
+    nn.init.seed(0)
+    fusion = MultimodalFusion(circuit_channels=40, netlist_dim=32,
+                              fusion_dim=32, num_heads=4)
+    circuit = nn.Tensor(RNG.normal(size=(2, 40, 12, 12)), requires_grad=True)
+    tokens = nn.Tensor(RNG.normal(size=(2, 192, 32)), requires_grad=True)
+
+    def step():
+        out = fusion(circuit, tokens)
+        loss = F.sum(F.mul(out, out))
+        circuit.zero_grad()
+        tokens.zero_grad()
+        fusion.zero_grad()
+        loss.backward()
+        return float(loss.data)
+
+    value = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(value)
+
+
+def test_conv_transpose_decoder_stage(benchmark):
+    nn.init.seed(0)
+    up = nn.ConvTranspose2d(40, 20, kernel_size=2, stride=2)
+    x = nn.Tensor(RNG.normal(size=(2, 40, 12, 12)), requires_grad=True)
+
+    def step():
+        out = up(x)
+        loss = F.sum(out)
+        x.zero_grad()
+        up.zero_grad()
+        loss.backward()
+        return float(loss.data)
+
+    value = benchmark.pedantic(step, rounds=5, iterations=1)
+    assert np.isfinite(value)

@@ -1,0 +1,63 @@
+"""Extra experiment — golden-solver scaling with netlist size.
+
+The paper's premise is that exact IR analysis is expensive at scale
+(hours for full chips) while the learned model is fast.  This bench
+measures our sparse solver's wall-time across node counts (the series the
+DESIGN.md inventory calls "solver scaling") and asserts near-linear
+scaling of the sparse factorisation in the tested range.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.pdn import PDNConfig, contest_stack, generate_pdn
+from repro.solver import audit_solution, solve_static_ir
+
+EDGES_UM = [32.0, 64.0, 96.0, 128.0]
+
+
+def _case(edge_um: float, seed: int = 0):
+    return generate_pdn(PDNConfig(
+        stack=contest_stack(), width_um=edge_um, height_um=edge_um,
+        total_current=0.05, num_pads=4, tap_spacing_um=4.0, seed=seed,
+    ))
+
+
+def test_solver_scaling_series(artifact_dir, benchmark):
+    lines = ["Golden solver scaling (sparse nodal analysis):",
+             f"{'edge (um)':>10} {'nodes':>9} {'solve (ms)':>11}"]
+    samples = []
+    for edge in EDGES_UM:
+        case = _case(edge)
+        result = solve_static_ir(case.netlist)
+        audit_solution(case.netlist, result).assert_physical()
+        nodes = case.netlist.num_nodes
+        samples.append((nodes, result.solve_seconds))
+        lines.append(f"{edge:>10.0f} {nodes:>9,} "
+                     f"{result.solve_seconds * 1e3:>11.1f}")
+    benchmark(lambda: "\n".join(lines))
+    emit(artifact_dir, "solver_scaling.txt", "\n".join(lines))
+
+    # node counts must grow ~quadratically with the edge
+    assert samples[-1][0] > 8 * samples[0][0]
+    # and solve time must stay sub-quadratic in node count (sparse solve)
+    node_ratio = samples[-1][0] / samples[0][0]
+    time_ratio = max(samples[-1][1], 1e-5) / max(samples[0][1], 1e-5)
+    assert time_ratio < node_ratio ** 2
+
+
+def test_solve_is_exact_at_every_size():
+    for edge in EDGES_UM[:2]:
+        case = _case(edge, seed=1)
+        result = solve_static_ir(case.netlist)
+        audit = audit_solution(case.netlist, result)
+        assert audit.kcl_residual < 1e-8
+        assert audit.current_balance_error < 1e-8
+
+
+def test_midsize_solve_cost(benchmark):
+    """Benchmark: one exact solve of a ~10k-node PDN."""
+    case = _case(96.0, seed=2)
+    result = benchmark.pedantic(lambda: solve_static_ir(case.netlist),
+                                rounds=3, iterations=1)
+    assert result.worst_drop > 0

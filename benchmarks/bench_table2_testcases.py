@@ -1,0 +1,56 @@
+"""Table II — statistics of the hidden testcases.
+
+Regenerates the paper's testcase table (node counts and raster shapes)
+from the synthetic hidden suite.  Geometry follows Table II scaled by
+``SynthesisSettings.hidden_scale`` (1/8 by default); the relative ordering
+of sizes and node counts must match the paper.  The benchmark times one
+complete case synthesis (grid build + golden sparse solve + features).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.data.synthesis import SynthesisSettings, synthesize_case
+from repro.eval.tables import format_table2
+from repro.pdn.templates import HIDDEN_CASE_SPECS
+
+
+def test_table2_statistics(bench_suite, artifact_dir, benchmark):
+    text = benchmark(format_table2, bench_suite)
+    emit(artifact_dir, "table2_testcases.txt", text)
+
+    by_name = {case.name: case for case in bench_suite.hidden_cases}
+    specs = {f"testcase{s.case_id}": s for s in HIDDEN_CASE_SPECS}
+
+    # shapes follow the paper's geometry (scaled)
+    settings = SynthesisSettings()
+    for name, case in by_name.items():
+        expected_edge = max(specs[name].edge_px * settings.hidden_scale, 24.0)
+        assert case.shape[0] == int(round(expected_edge)) + 1
+
+    # node-count ordering tracks the paper: big dies have more nodes
+    if {"testcase9", "testcase13"} <= set(by_name):
+        assert by_name["testcase9"].num_nodes > by_name["testcase13"].num_nodes
+    if {"testcase19", "testcase7"} <= set(by_name):
+        assert by_name["testcase19"].num_nodes > by_name["testcase7"].num_nodes
+
+
+def test_node_count_scales_with_area(bench_suite):
+    """Node count must grow superlinearly in edge length (mesh-like)."""
+    cases = sorted(bench_suite.hidden_cases, key=lambda c: c.shape[0])
+    small, large = cases[0], cases[-1]
+    edge_ratio = large.shape[0] / small.shape[0]
+    node_ratio = large.num_nodes / small.num_nodes
+    assert node_ratio > edge_ratio  # superlinear (≈ quadratic)
+
+
+def test_case_synthesis_throughput(benchmark):
+    """Benchmark: full synthesis of one mid-size hidden-style case."""
+    counter = iter(range(10_000))
+
+    def synthesize():
+        return synthesize_case("hidden", seed=9_000 + next(counter),
+                               edge_um=61.0)
+
+    case = benchmark.pedantic(synthesize, rounds=3, iterations=1)
+    assert case.ir_map.max() > 0

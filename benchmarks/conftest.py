@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark suite regenerates every table and figure of the paper at a
+CPU-scale budget.  Budgets are controlled by environment variables:
+
+=====================  =========================================  =======
+variable               meaning                                    default
+=====================  =========================================  =======
+REPRO_BENCH_FAKE       number of unique fake training cases       12
+REPRO_BENCH_REAL       number of unique real training cases       6
+REPRO_BENCH_HIDDEN     number of hidden testcases                 10
+REPRO_BENCH_SEED       suite RNG seed                             3
+REPRO_EVAL_EPOCHS      fine-tune epochs per model                 10
+REPRO_EVAL_EDGE        training/inference edge (px)               48
+REPRO_EVAL_POINTS      LNT token budget                           192
+=====================  =========================================  =======
+
+The recorded full-scale run in EXPERIMENTS.md used
+``REPRO_EVAL_EPOCHS=40``; defaults keep ``pytest benchmarks/`` under
+~10 minutes on one CPU core.
+
+Tables/figures are printed to stdout (visible with ``pytest -s``) and
+always written to ``benchmarks/artifacts/``.
+"""
+
+import os
+
+import pytest
+
+from repro.data.synthesis import make_suite
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    """One shared benchmark suite for every table/figure."""
+    return make_suite(
+        num_fake=_env_int("REPRO_BENCH_FAKE", 12),
+        num_real=_env_int("REPRO_BENCH_REAL", 6),
+        num_hidden=_env_int("REPRO_BENCH_HIDDEN", 10),
+        seed=_env_int("REPRO_BENCH_SEED", 3),
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def emit(artifact_dir: str, filename: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/artifacts/."""
+    print("\n" + text)
+    with open(os.path.join(artifact_dir, filename), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,73 @@
+"""Tour of the netlist point-cloud encoding (the paper's Fig. 3).
+
+Shows the lossless element-wise encoding, what each column carries, and
+how the sampling strategies behave on a large netlist:
+
+    python examples/netlist_pointcloud_tour.py
+"""
+
+import numpy as np
+
+from repro.pdn import PDNConfig, contest_stack, generate_pdn
+from repro.pointcloud import (
+    encode_netlist,
+    farthest_point_sample,
+    fit_to_count,
+    sample_grid,
+    sample_random,
+)
+
+COLUMNS = ["x1", "y1", "x2", "y2", "value", "is_R", "is_I", "is_V",
+           "layer1", "layer2", "is_via"]
+
+
+def main() -> None:
+    config = PDNConfig(stack=contest_stack(), width_um=128.0, height_um=128.0,
+                       tap_spacing_um=2.0, num_pads=8, total_current=0.05,
+                       seed=5)
+    case = generate_pdn(config, name="big")
+    print(f"netlist: {case.netlist.num_nodes:,} nodes, "
+          f"{len(case.netlist.resistors):,} resistors")
+
+    cloud = encode_netlist(case.netlist)
+    print(f"point cloud: {cloud.num_points:,} points x "
+          f"{cloud.points.shape[1]} features (one point per element, "
+          "no information loss)")
+    print(f"  resistors {len(cloud.of_type('R')):,} | "
+          f"loads {len(cloud.of_type('I')):,} | "
+          f"pads {len(cloud.of_type('V')):,} | "
+          f"vias {len(cloud.vias()):,}")
+
+    print("\nfirst three points (columns: " + ", ".join(COLUMNS) + "):")
+    for row in cloud.points[:3]:
+        print("  [" + ", ".join(f"{v:.3f}" for v in row) + "]")
+
+    # sampling strategies for the LNT's fixed token budget
+    budget = 512
+    rng = np.random.default_rng(0)
+    print(f"\nsampling to {budget} tokens:")
+    for label, sampled in [
+        ("random", sample_random(cloud.points, budget, rng)),
+        ("grid pooling", sample_grid(cloud.points, budget)),
+        ("farthest-point", farthest_point_sample(cloud.points, budget)),
+    ]:
+        coverage = _spatial_coverage(sampled)
+        print(f"  {label:<15} {sampled.shape[0]:>5} pts, "
+              f"spatial coverage {coverage:4.1%}")
+
+    fixed = fit_to_count(cloud.points, budget, strategy="grid")
+    print(f"\nfit_to_count -> exactly {fixed.shape[0]} rows "
+          "(zero-padded if the netlist is small)")
+
+
+def _spatial_coverage(points: np.ndarray, grid: int = 8) -> float:
+    """Fraction of an 8x8 spatial grid hit by at least one point."""
+    real = points[:, 5:8].sum(axis=1) > 0.5
+    cells = set()
+    for x, y in points[real, 0:2]:
+        cells.add((min(int(x * grid), grid - 1), min(int(y * grid), grid - 1)))
+    return len(cells) / (grid * grid)
+
+
+if __name__ == "__main__":
+    main()

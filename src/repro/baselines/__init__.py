@@ -1,0 +1,13 @@
+"""``repro.baselines`` — re-implemented comparison models (paper Table I)."""
+
+from repro.baselines.contest import FirstPlaceModel, SecondPlaceModel
+from repro.baselines.iredge import IREDGe
+from repro.baselines.irpnet import IRPnet, ShapeAdaptiveConv
+from repro.baselines.unet import UNetBackbone
+
+__all__ = [
+    "UNetBackbone",
+    "IREDGe",
+    "IRPnet", "ShapeAdaptiveConv",
+    "FirstPlaceModel", "SecondPlaceModel",
+]

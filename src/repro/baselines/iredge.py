@@ -1,0 +1,39 @@
+"""IREDGe baseline (Chhabria et al., ASP-DAC 2021).
+
+A plain convolutional encoder-decoder over the three contest maps —
+per the paper's Table I: no netlist handling, no multimodal fusion, no
+extra features, no global attention.  The paper attributes IREDGe's poor
+hidden-case scores to exactly this limited feature set and model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from repro.baselines.unet import UNetBackbone
+from repro.features.stack import CONTEST_CHANNELS
+
+__all__ = ["IREDGe"]
+
+
+class IREDGe(nn.Module):
+    """U-Net over (current, effective distance, PDN density)."""
+
+    CHANNELS = CONTEST_CHANNELS
+
+    def __init__(self, base_channels: int = 6, depth: int = 2):
+        super().__init__()
+        self.backbone = UNetBackbone(
+            in_channels=len(self.CHANNELS),
+            out_channels=1,
+            base_channels=base_channels,
+            depth=depth,
+            use_attention_gates=False,
+        )
+
+    def forward(self, circuit: Tensor, points: Optional[Tensor] = None) -> Tensor:
+        """``points`` accepted for interface parity and ignored."""
+        return self.backbone(circuit)

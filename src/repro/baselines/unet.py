@@ -1,0 +1,90 @@
+"""Shared U-Net backbone for the baseline models.
+
+IREDGe and the contest-winner models are all encoder-decoder CNNs; they
+differ in inputs, capacity and attention usage (paper Table I).  This
+backbone factors the common structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["UNetBackbone"]
+
+
+class _DoubleConv(nn.Module):
+    """(Conv3x3 + BN + ReLU) × 2 — the classic U-Net block."""
+
+    def __init__(self, in_channels: int, out_channels: int):
+        super().__init__()
+        self.body = nn.Sequential(
+            nn.Conv2d(in_channels, out_channels, 3, padding=1),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+            nn.Conv2d(out_channels, out_channels, 3, padding=1),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class UNetBackbone(nn.Module):
+    """Configurable U-Net: ``depth`` levels, optional attention gates."""
+
+    def __init__(self, in_channels: int, out_channels: int = 1,
+                 base_channels: int = 8, depth: int = 3,
+                 use_attention_gates: bool = False):
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.use_attention_gates = use_attention_gates
+
+        self.down_blocks = nn.ModuleList()
+        self.pools = nn.ModuleList()
+        channels = in_channels
+        skip_channels: List[int] = []
+        for level in range(depth):
+            width = base_channels * (2 ** level)
+            self.down_blocks.append(_DoubleConv(channels, width))
+            self.pools.append(nn.MaxPool2d(2))
+            skip_channels.append(width)
+            channels = width
+        self.bottleneck = _DoubleConv(channels, channels * 2)
+        channels *= 2
+
+        self.ups = nn.ModuleList()
+        self.gates = nn.ModuleList()
+        self.up_blocks = nn.ModuleList()
+        for width in reversed(skip_channels):
+            self.ups.append(nn.ConvTranspose2d(channels, width, 2, stride=2))
+            if use_attention_gates:
+                self.gates.append(nn.AttentionGate(width, width))
+            self.up_blocks.append(_DoubleConv(width * 2, width))
+            channels = width
+        self.head = nn.Conv2d(channels, out_channels, kernel_size=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[2] % (2 ** self.depth) or x.shape[3] % (2 ** self.depth):
+            raise ValueError(
+                f"input spatial dims {x.shape[2:]} must be divisible by "
+                f"2^{self.depth}"
+            )
+        skips: List[Tensor] = []
+        for block, pool in zip(self.down_blocks, self.pools):
+            x = block(x)
+            skips.append(x)
+            x = pool(x)
+        x = self.bottleneck(x)
+        for index, skip in enumerate(reversed(skips)):
+            x = self.ups[index](x)
+            gated = self.gates[index](x, skip) if self.use_attention_gates else skip
+            x = F.concat([x, gated], axis=1)
+            x = self.up_blocks[index](x)
+        return self.head(x)

@@ -1,0 +1,30 @@
+"""``repro.core`` — the paper's contribution: the LMM-IR model family.
+
+Circuit encoder, Large-scale Netlist Transformer, cross-attention fusion,
+attention-gated decoder, assembled model with ablation toggles, the
+registry of comparison models (Table I), and the inference pipeline.
+"""
+
+from repro.core.circuit_encoder import CircuitEncoder, ConvBlock
+from repro.core.decoder import MultimodalDecoder
+from repro.core.fusion import MultimodalFusion
+from repro.core.lnt import LargeNetlistTransformer
+from repro.core.model import LMMIR, LMMIRConfig
+from repro.core.pipeline import IRPredictor
+from repro.core.registry import (
+    BASELINES,
+    MODEL_REGISTRY,
+    OURS,
+    ModelSpec,
+    build_model,
+)
+
+__all__ = [
+    "CircuitEncoder", "ConvBlock",
+    "LargeNetlistTransformer",
+    "MultimodalFusion",
+    "MultimodalDecoder",
+    "LMMIR", "LMMIRConfig",
+    "IRPredictor",
+    "MODEL_REGISTRY", "ModelSpec", "build_model", "OURS", "BASELINES",
+]

@@ -1,0 +1,74 @@
+"""Circuit encoder (paper Fig. 2, left stream).
+
+Per level: ``(Conv7x7 + BN + ReLU) x 2`` followed by 2x max-pooling, as
+drawn in the paper's architecture figure.  The encoder returns the
+bottleneck feature and the per-level skip features for the decoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+__all__ = ["ConvBlock", "CircuitEncoder"]
+
+
+class ConvBlock(nn.Module):
+    """(Conv + BN + ReLU) × 2 with a configurable kernel (paper uses 7)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 7):
+        super().__init__()
+        padding = kernel_size // 2
+        self.body = nn.Sequential(
+            nn.Conv2d(in_channels, out_channels, kernel_size, padding=padding),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+            nn.Conv2d(out_channels, out_channels, kernel_size, padding=padding),
+            nn.BatchNorm2d(out_channels),
+            nn.ReLU(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class CircuitEncoder(nn.Module):
+    """Multi-level downsampling encoder over the feature-map stack.
+
+    Produces ``depth`` skip tensors (before each pooling) plus the
+    bottleneck.  Channel counts double per level from ``base_channels``.
+    """
+
+    def __init__(self, in_channels: int, base_channels: int = 8, depth: int = 3,
+                 kernel_size: int = 7):
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"encoder depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.blocks = nn.ModuleList()
+        self.pools = nn.ModuleList()
+        channels = in_channels
+        for level in range(depth):
+            out_channels = base_channels * (2 ** level)
+            self.blocks.append(ConvBlock(channels, out_channels, kernel_size))
+            self.pools.append(nn.MaxPool2d(2))
+            channels = out_channels
+        self.bottleneck = ConvBlock(channels, channels * 2, kernel_size)
+        self.out_channels = channels * 2
+        self.skip_channels = [base_channels * (2 ** level) for level in range(depth)]
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, List[Tensor]]:
+        """Return (bottleneck, [skip_0 ... skip_{depth-1}])."""
+        if x.shape[2] % (2 ** self.depth) or x.shape[3] % (2 ** self.depth):
+            raise ValueError(
+                f"input spatial dims {x.shape[2:]} must be divisible by "
+                f"2^{self.depth}"
+            )
+        skips: List[Tensor] = []
+        for block, pool in zip(self.blocks, self.pools):
+            x = block(x)
+            skips.append(x)
+            x = pool(x)
+        return self.bottleneck(x), skips

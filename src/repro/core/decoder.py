@@ -1,0 +1,59 @@
+"""Multimodal decoder (paper Fig. 2 right + §III-D).
+
+Upsampling stages (deconvolution, factor 2 each — the paper uses four at
+512-px scale, our depth follows the encoder) with skip connections gated
+by attention gates (§II-C), closed by a 1×1 convolution head.
+
+Two heads share the decoder trunk: the IR head (1 channel) and the
+reconstruction head (``in_channels``) used by stage-1 pre-training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from repro.core.circuit_encoder import ConvBlock
+
+__all__ = ["MultimodalDecoder"]
+
+
+class MultimodalDecoder(nn.Module):
+    """Attention-gated U-Net style decoder."""
+
+    def __init__(self, bottleneck_channels: int, skip_channels: Sequence[int],
+                 use_attention_gates: bool = True, kernel_size: int = 3):
+        super().__init__()
+        self.use_attention_gates = use_attention_gates
+        self.ups = nn.ModuleList()
+        self.gates = nn.ModuleList()
+        self.blocks = nn.ModuleList()
+
+        channels = bottleneck_channels
+        for skip in reversed(list(skip_channels)):
+            self.ups.append(nn.ConvTranspose2d(channels, skip, kernel_size=2, stride=2))
+            if use_attention_gates:
+                self.gates.append(nn.AttentionGate(gate_channels=skip,
+                                                   skip_channels=skip))
+            self.blocks.append(ConvBlock(skip * 2, skip, kernel_size))
+            channels = skip
+        self.out_channels = channels
+
+    def forward(self, bottleneck: Tensor, skips: List[Tensor]) -> Tensor:
+        """Decode to the input resolution; ``skips`` as produced by the
+        encoder (shallowest first)."""
+        if len(skips) != len(self.ups):
+            raise ValueError(
+                f"decoder built for {len(self.ups)} skips, got {len(skips)}"
+            )
+        x = bottleneck
+        for index, skip in enumerate(reversed(skips)):
+            x = self.ups[index](x)
+            gated = (self.gates[index](x, skip) if self.use_attention_gates
+                     else skip)
+            x = F.concat([x, gated], axis=1)
+            x = self.blocks[index](x)
+        return x

@@ -1,0 +1,45 @@
+"""Multimodal fusion (paper Fig. 2 centre): circuit ⟷ netlist cross-attention.
+
+The circuit bottleneck is flattened into spatial tokens that *query* the
+netlist token sequence; each spatial location pulls in the electrical
+context relevant to it.  The attended tokens are projected back and added
+residually, so disabling fusion (ablation) degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultimodalFusion"]
+
+
+class MultimodalFusion(nn.Module):
+    """Cross-attention fusion between a feature map and a token sequence."""
+
+    def __init__(self, circuit_channels: int, netlist_dim: int,
+                 fusion_dim: int = 32, num_heads: int = 4, depth: int = 1):
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"fusion depth must be >= 1, got {depth}")
+        self.circuit_proj = nn.Linear(circuit_channels, fusion_dim)
+        self.netlist_proj = nn.Linear(netlist_dim, fusion_dim)
+        self.blocks = nn.ModuleList([
+            nn.CrossAttentionBlock(fusion_dim, num_heads) for _ in range(depth)
+        ])
+        self.out_proj = nn.Linear(fusion_dim, circuit_channels)
+
+    def forward(self, circuit: Tensor, netlist_tokens: Tensor) -> Tensor:
+        """(B,C,h,w) map + (B,N,D) tokens → (B,C,h,w) fused map."""
+        batch, channels, height, width = circuit.shape
+        spatial = F.reshape(circuit, (batch, channels, height * width))
+        spatial = F.transpose(spatial, (0, 2, 1))           # (B, hw, C)
+        queries = self.circuit_proj(spatial)                # (B, hw, D)
+        context = self.netlist_proj(netlist_tokens)         # (B, N, D)
+        for block in self.blocks:
+            queries = block(queries, context)
+        fused = self.out_proj(queries)                      # (B, hw, C)
+        fused = F.transpose(fused, (0, 2, 1))
+        fused = F.reshape(fused, (batch, channels, height, width))
+        return F.add(circuit, fused)                        # residual fusion

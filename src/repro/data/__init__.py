@@ -1,0 +1,24 @@
+"""``repro.data`` — benchmark cases, suites, IO and augmentation."""
+
+from repro.data.augment import PAPER_SIGMA_RANGE, gaussian_noise
+from repro.data.case import CASE_KINDS, CaseBundle
+from repro.data.dataset import (
+    PAPER_FAKE_OVERSAMPLE,
+    PAPER_REAL_OVERSAMPLE,
+    IRDropDataset,
+)
+from repro.data.io import CHANNEL_FILES, read_case, write_case
+from repro.data.synthesis import (
+    BenchmarkSuite,
+    SynthesisSettings,
+    make_suite,
+    synthesize_case,
+)
+
+__all__ = [
+    "CaseBundle", "CASE_KINDS",
+    "IRDropDataset", "PAPER_FAKE_OVERSAMPLE", "PAPER_REAL_OVERSAMPLE",
+    "read_case", "write_case", "CHANNEL_FILES",
+    "synthesize_case", "make_suite", "BenchmarkSuite", "SynthesisSettings",
+    "gaussian_noise", "PAPER_SIGMA_RANGE",
+]

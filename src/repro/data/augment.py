@@ -1,0 +1,33 @@
+"""Training-set augmentation (paper §IV-C).
+
+Geometric transforms (crops/flips) would "disrupt the circuit
+characteristics", so the paper augments with Gaussian noise of standard
+deviation drawn from (0, 1e-3).  Applied to the (already normalised)
+feature stack; the target map is never perturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["gaussian_noise", "PAPER_SIGMA_RANGE"]
+
+PAPER_SIGMA_RANGE: Tuple[float, float] = (0.0, 1e-3)
+
+
+def gaussian_noise(stack: np.ndarray, rng: np.random.Generator,
+                   sigma_range: Tuple[float, float] = PAPER_SIGMA_RANGE) -> np.ndarray:
+    """Return a noisy copy of a feature stack.
+
+    The noise std is itself sampled uniformly from ``sigma_range`` per
+    call, matching the paper's σ ∈ (0, 1e-3) prescription.
+    """
+    low, high = sigma_range
+    if low < 0 or high < low:
+        raise ValueError(f"invalid sigma range {sigma_range}")
+    sigma = rng.uniform(low, high)
+    if sigma == 0.0:
+        return stack.copy()
+    return stack + rng.normal(0.0, sigma, size=stack.shape)

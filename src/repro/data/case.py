@@ -1,0 +1,72 @@
+"""The :class:`CaseBundle`: one benchmark data point.
+
+Mirrors a contest case directory: the SPICE netlist, the circuit feature
+maps, and the golden IR-drop map — plus provenance metadata (kind, seed,
+scaling applied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.stack import ALL_CHANNELS, stack_channels
+from repro.pointcloud.encode import PointCloud, encode_netlist
+from repro.spice.netlist import Netlist
+
+__all__ = ["CaseBundle", "CASE_KINDS"]
+
+CASE_KINDS = ("fake", "real", "hidden")
+"""The three distributions in the paper's data mix (§IV-A)."""
+
+
+@dataclass
+class CaseBundle:
+    """One complete IR-drop benchmark case."""
+
+    name: str
+    kind: str
+    netlist: Netlist
+    feature_maps: Dict[str, np.ndarray]
+    ir_map: np.ndarray
+    metadata: Dict[str, float] = field(default_factory=dict)
+    _point_cloud: Optional[PointCloud] = None
+
+    def __post_init__(self):
+        if self.kind not in CASE_KINDS:
+            raise ValueError(f"kind must be one of {CASE_KINDS}, got {self.kind!r}")
+        shapes = {m.shape for m in self.feature_maps.values()} | {self.ir_map.shape}
+        if len(shapes) != 1:
+            raise ValueError(f"maps disagree on shape: {sorted(shapes)}")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.ir_map.shape
+
+    @property
+    def num_nodes(self) -> int:
+        return self.netlist.num_nodes
+
+    def features(self, channels: Sequence[str] = ALL_CHANNELS) -> np.ndarray:
+        """(C, H, W) stack of the requested channels."""
+        return stack_channels(self.feature_maps, channels)
+
+    def point_cloud(self) -> PointCloud:
+        """Lazily encoded netlist point cloud (cached)."""
+        if self._point_cloud is None:
+            stats = self.netlist.statistics()
+            rows, cols = self.shape
+            self._point_cloud = encode_netlist(
+                self.netlist, die_size_um=(max(cols - 1.0, 1.0), max(rows - 1.0, 1.0))
+            )
+        return self._point_cloud
+
+    def hotspot_threshold(self) -> float:
+        """The contest's positive-class boundary: 90 % of the true max."""
+        return 0.9 * float(self.ir_map.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CaseBundle({self.name!r}, kind={self.kind}, "
+                f"shape={self.shape}, nodes={self.num_nodes})")

@@ -1,0 +1,85 @@
+"""On-disk case storage in the contest layout.
+
+One directory per case::
+
+    case_dir/
+      netlist.sp          SPICE netlist
+      current_map.csv     contest feature maps (CSV, comma-separated)
+      eff_dist_map.csv
+      pdn_density.csv
+      voltage_src.csv     paper extra maps
+      current_src.csv
+      resistance.csv
+      ir_drop_map.csv     golden output
+      meta.json           kind, metadata
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.data.case import CaseBundle
+from repro.spice.parser import parse_spice_file
+from repro.spice.writer import write_spice_file
+
+__all__ = ["write_case", "read_case", "CHANNEL_FILES"]
+
+CHANNEL_FILES: Dict[str, str] = {
+    "current": "current_map.csv",
+    "eff_dist": "eff_dist_map.csv",
+    "pdn_density": "pdn_density.csv",
+    "voltage_src": "voltage_src.csv",
+    "current_src": "current_src.csv",
+    "resistance": "resistance.csv",
+}
+
+_IR_FILE = "ir_drop_map.csv"
+_NETLIST_FILE = "netlist.sp"
+_META_FILE = "meta.json"
+
+
+def write_case(case: CaseBundle, directory: str) -> None:
+    """Persist a case bundle as a contest-style directory."""
+    os.makedirs(directory, exist_ok=True)
+    write_spice_file(case.netlist, os.path.join(directory, _NETLIST_FILE))
+    for channel, filename in CHANNEL_FILES.items():
+        if channel in case.feature_maps:
+            np.savetxt(os.path.join(directory, filename),
+                       case.feature_maps[channel], delimiter=",", fmt="%.8g")
+    np.savetxt(os.path.join(directory, _IR_FILE), case.ir_map,
+               delimiter=",", fmt="%.8g")
+    meta = {"name": case.name, "kind": case.kind, "metadata": case.metadata}
+    with open(os.path.join(directory, _META_FILE), "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def read_case(directory: str) -> CaseBundle:
+    """Load a case bundle previously written by :func:`write_case`."""
+    meta_path = os.path.join(directory, _META_FILE)
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+
+    netlist = parse_spice_file(os.path.join(directory, _NETLIST_FILE))
+    netlist.name = meta["name"]
+
+    feature_maps: Dict[str, np.ndarray] = {}
+    for channel, filename in CHANNEL_FILES.items():
+        path = os.path.join(directory, filename)
+        if os.path.exists(path):
+            feature_maps[channel] = np.atleast_2d(
+                np.loadtxt(path, delimiter=",")
+            )
+    ir_map = np.atleast_2d(np.loadtxt(os.path.join(directory, _IR_FILE),
+                                      delimiter=","))
+    return CaseBundle(
+        name=meta["name"],
+        kind=meta["kind"],
+        netlist=netlist,
+        feature_maps=feature_maps,
+        ir_map=ir_map,
+        metadata=meta.get("metadata", {}),
+    )

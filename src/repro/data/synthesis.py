@@ -1,0 +1,232 @@
+"""Benchmark suite synthesis — the contest/BeGAN data substitute.
+
+Three case distributions mirror the paper's data mix (§IV-A):
+
+* ``fake``  — BeGAN-style regular grids, mild randomisation (the 100
+  contest fake cases / 2000 BeGAN cases);
+* ``real``  — irregular: pitch jitter, macro blockages, via dropout,
+  random pad placement (the contest's real designs);
+* ``hidden``— drawn from the real distribution but sized after the paper's
+  Table II testcases (geometry scaled by ``hidden_scale``).
+
+Because the nodal system is linear, current budgets are rescaled *after*
+the golden solve so every case lands at a prescribed worst-drop fraction
+of VDD — reproducing the contest's mix of mild and violating designs
+without re-solving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.case import CaseBundle
+from repro.features.stack import compute_feature_maps
+from repro.pdn.generator import PDNCase, PDNConfig, generate_pdn
+from repro.pdn.grid import Blockage
+from repro.pdn.layers import LayerStack
+from repro.pdn.templates import HIDDEN_CASE_SPECS, contest_stack
+from repro.solver.rasterize import rasterize_ir_map
+from repro.solver.static import solve_static_ir
+from repro.spice.elements import CurrentSource
+
+__all__ = ["SynthesisSettings", "synthesize_case", "make_suite", "BenchmarkSuite"]
+
+
+@dataclass
+class SynthesisSettings:
+    """Global knobs of the synthetic benchmark generator."""
+
+    edge_um_range: Tuple[float, float] = (36.0, 88.0)
+    hidden_scale: float = 1.0 / 8.0
+    tap_spacing_um: float = 4.0
+    density_window_px: int = 9
+    worst_drop_frac_range: Tuple[float, float] = (0.065, 0.078)
+    golden_smooth_sigma: float = 2.5
+    vdd: float = 1.1
+
+    def __post_init__(self):
+        if self.hidden_scale <= 0:
+            raise ValueError("hidden_scale must be positive")
+        low, high = self.worst_drop_frac_range
+        if not 0 < low <= high < 1:
+            raise ValueError("worst_drop_frac_range must satisfy 0 < lo <= hi < 1")
+
+
+@dataclass
+class BenchmarkSuite:
+    """A train/test data split in the paper's layout."""
+
+    fake_cases: List[CaseBundle] = field(default_factory=list)
+    real_cases: List[CaseBundle] = field(default_factory=list)
+    hidden_cases: List[CaseBundle] = field(default_factory=list)
+
+    @property
+    def training_cases(self) -> List[CaseBundle]:
+        return self.fake_cases + self.real_cases
+
+    def all_cases(self) -> List[CaseBundle]:
+        return self.fake_cases + self.real_cases + self.hidden_cases
+
+
+def _fake_config(rng: np.random.Generator, settings: SynthesisSettings) -> PDNConfig:
+    edge = rng.uniform(*settings.edge_um_range)
+    return PDNConfig(
+        stack=contest_stack(pitch_scale=rng.uniform(0.9, 1.1)),
+        width_um=edge,
+        height_um=edge,
+        vdd=settings.vdd,
+        num_pads=int(rng.integers(4, 10)),
+        pad_placement="grid",
+        hotspots=int(rng.integers(2, 6)),
+        background=rng.uniform(0.3, 0.6),
+        current_fraction=rng.uniform(0.5, 0.8),
+        tap_spacing_um=settings.tap_spacing_um,
+        seed=int(rng.integers(0, 2 ** 31)),
+    )
+
+
+def _real_config(rng: np.random.Generator, settings: SynthesisSettings,
+                 edge_um: Optional[float] = None) -> PDNConfig:
+    edge = edge_um if edge_um is not None else rng.uniform(*settings.edge_um_range)
+    blockages = _random_blockages(rng, edge, count=int(rng.integers(0, 3)))
+    return PDNConfig(
+        stack=contest_stack(pitch_scale=rng.uniform(0.9, 1.15)),
+        width_um=edge,
+        height_um=edge,
+        vdd=settings.vdd,
+        num_pads=int(rng.integers(4, 9)),
+        pad_placement=str(rng.choice(["random", "grid"])),
+        hotspots=int(rng.integers(3, 7)),
+        background=rng.uniform(0.25, 0.5),
+        current_fraction=rng.uniform(0.5, 0.8),
+        tap_spacing_um=settings.tap_spacing_um,
+        via_dropout=float(rng.uniform(0.0, 0.05)),
+        blockages=blockages,
+        seed=int(rng.integers(0, 2 ** 31)),
+    )
+
+
+def _random_blockages(rng: np.random.Generator, edge_um: float,
+                      count: int) -> Tuple[Blockage, ...]:
+    blockages = []
+    for _ in range(count):
+        width = rng.uniform(0.1, 0.3) * edge_um
+        height = rng.uniform(0.1, 0.3) * edge_um
+        x0 = rng.uniform(0.05, 0.9) * edge_um
+        y0 = rng.uniform(0.05, 0.9) * edge_um
+        blockages.append(Blockage(
+            xmin=x0, ymin=y0,
+            xmax=min(x0 + width, edge_um * 0.98),
+            ymax=min(y0 + height, edge_um * 0.98),
+        ))
+    return tuple(b for b in blockages if b.xmax > b.xmin and b.ymax > b.ymin)
+
+
+def synthesize_case(
+    kind: str,
+    seed: int,
+    settings: Optional[SynthesisSettings] = None,
+    name: Optional[str] = None,
+    edge_um: Optional[float] = None,
+) -> CaseBundle:
+    """Generate one complete case (netlist + features + golden IR map)."""
+    settings = settings or SynthesisSettings()
+    rng = np.random.default_rng(seed)
+    if kind == "fake":
+        config = _fake_config(rng, settings)
+    elif kind in ("real", "hidden"):
+        config = _real_config(rng, settings, edge_um=edge_um)
+    else:
+        raise ValueError(f"unknown case kind {kind!r}")
+
+    case_name = name or f"{kind}_{seed}"
+    pdn_case = generate_pdn(config, name=case_name)
+    target_frac = rng.uniform(*settings.worst_drop_frac_range)
+    ir_map = _solve_and_rescale(pdn_case, target_frac,
+                                smooth_sigma=settings.golden_smooth_sigma)
+
+    feature_maps = compute_feature_maps(
+        pdn_case.netlist,
+        shape=config.map_shape,
+        power_density=pdn_case.power_density,
+        density_window_px=settings.density_window_px,
+    )
+    metadata = {
+        "seed": float(seed),
+        "target_worst_drop_frac": float(target_frac),
+        "vdd": float(config.vdd),
+        "num_pads": float(len(pdn_case.pad_nodes)),
+    }
+    return CaseBundle(
+        name=case_name,
+        kind=kind,
+        netlist=pdn_case.netlist,
+        feature_maps=feature_maps,
+        ir_map=ir_map,
+        metadata=metadata,
+    )
+
+
+def _solve_and_rescale(pdn_case: PDNCase, target_worst_frac: float,
+                       smooth_sigma: float = 1.5) -> np.ndarray:
+    """Solve once, then linearly rescale currents to the target worst drop."""
+    netlist = pdn_case.netlist
+    result = solve_static_ir(netlist)
+    worst = result.worst_drop
+    if worst <= 0:
+        raise ValueError(f"case {netlist.name!r} has zero IR drop; cannot rescale")
+    factor = (target_worst_frac * result.vdd) / worst
+
+    netlist.current_sources = [
+        CurrentSource(source.name, source.node, source.value * factor)
+        for source in netlist.current_sources
+    ]
+    # linear system: drops scale exactly with the current vector
+    scaled_voltages = {
+        name: result.vdd - (result.vdd - voltage) * factor
+        for name, voltage in result.node_voltages.items()
+    }
+    result.node_voltages = scaled_voltages
+    return rasterize_ir_map(netlist, result, shape=pdn_case.config.map_shape,
+                            smooth_sigma=smooth_sigma)
+
+
+def make_suite(
+    num_fake: int = 8,
+    num_real: int = 4,
+    num_hidden: int = 10,
+    seed: int = 0,
+    settings: Optional[SynthesisSettings] = None,
+) -> BenchmarkSuite:
+    """Generate a full benchmark suite (train fake+real, test hidden).
+
+    Hidden cases follow the Table II geometry: the i-th hidden case uses
+    the i-th spec's edge length multiplied by ``settings.hidden_scale``.
+    """
+    settings = settings or SynthesisSettings()
+    suite = BenchmarkSuite()
+    for index in range(num_fake):
+        suite.fake_cases.append(
+            synthesize_case("fake", seed=seed * 100_003 + index, settings=settings)
+        )
+    for index in range(num_real):
+        suite.real_cases.append(
+            synthesize_case("real", seed=seed * 100_003 + 50_000 + index,
+                            settings=settings)
+        )
+    for index in range(num_hidden):
+        spec = HIDDEN_CASE_SPECS[index % len(HIDDEN_CASE_SPECS)]
+        edge_um = max(spec.edge_px * settings.hidden_scale, 24.0)
+        suite.hidden_cases.append(
+            synthesize_case(
+                "hidden",
+                seed=seed * 100_003 + 90_000 + index,
+                settings=settings,
+                name=f"testcase{spec.case_id}",
+                edge_um=edge_um,
+            )
+        )
+    return suite

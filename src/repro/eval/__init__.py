@@ -1,0 +1,20 @@
+"""``repro.eval`` — experiment harness regenerating every table/figure."""
+
+from repro.eval.ablation import ABLATION_CONFIGS, AblationRun, run_ablation
+from repro.eval.figures import export_visual_comparison
+from repro.eval.harness import (
+    ComparisonResult,
+    EvalConfig,
+    evaluate_predictor,
+    run_comparison,
+    train_predictor,
+)
+from repro.eval.tables import format_fig4, format_table1, format_table2, format_table3
+
+__all__ = [
+    "EvalConfig", "ComparisonResult",
+    "train_predictor", "evaluate_predictor", "run_comparison",
+    "run_ablation", "ABLATION_CONFIGS", "AblationRun",
+    "export_visual_comparison",
+    "format_table1", "format_table2", "format_table3", "format_fig4",
+]

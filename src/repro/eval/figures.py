@@ -1,0 +1,51 @@
+"""Fig. 5 export: IR-drop visualisations of baselines vs. ours vs. truth."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import IRPredictor
+from repro.data.case import CaseBundle
+from repro.viz.compare import side_by_side_ascii, write_comparison_ppm
+from repro.viz.heatmap import write_ppm
+
+__all__ = ["export_visual_comparison"]
+
+
+def export_visual_comparison(
+    case: CaseBundle,
+    predictors: Sequence[IRPredictor],
+    output_dir: Optional[str] = None,
+    ascii_width: int = 28,
+) -> Dict[str, np.ndarray]:
+    """Collect prediction maps plus ground truth for one case (Fig. 5).
+
+    When ``output_dir`` is given, writes one colour PPM per map, a combined
+    strip (``comparison.ppm``) and an ASCII panel (``comparison.txt``).
+    Returns the label→map dictionary (ground truth under ``"G.T."``).
+    """
+    maps: Dict[str, np.ndarray] = {}
+    for predictor in predictors:
+        predicted, _ = predictor.predict_case(case)
+        maps[predictor.name] = predicted
+    maps["G.T."] = case.ir_map
+
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
+        shared = (min(float(m.min()) for m in maps.values()),
+                  max(float(m.max()) for m in maps.values()))
+        for label, array in maps.items():
+            safe = label.replace(" ", "_").replace("(", "").replace(")", "") \
+                        .replace(".", "").lower() or "map"
+            write_ppm(array, os.path.join(output_dir, f"{case.name}_{safe}.ppm"),
+                      value_range=shared)
+        write_comparison_ppm(maps, os.path.join(output_dir,
+                                                f"{case.name}_comparison.ppm"))
+        panel = side_by_side_ascii(maps, width=ascii_width)
+        with open(os.path.join(output_dir, f"{case.name}_comparison.txt"),
+                  "w") as handle:
+            handle.write(panel + "\n")
+    return maps

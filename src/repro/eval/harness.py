@@ -1,0 +1,150 @@
+"""Evaluation harness: train registered models and score them on the
+hidden suite, producing the data behind the paper's Table III.
+
+Scale is controlled by :class:`EvalConfig`; the ``REPRO_EVAL_*``
+environment variables let the benchmark runner trade fidelity for time
+(see EXPERIMENTS.md for the settings used in the recorded runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import IRPredictor
+from repro.core.registry import MODEL_REGISTRY, ModelSpec
+from repro.data.dataset import IRDropDataset
+from repro.data.synthesis import BenchmarkSuite
+from repro.metrics.report import CaseMetrics, average_metrics, metric_ratios, score_case
+from repro.train.loader import CasePreprocessor
+from repro.train.seed import seed_everything
+from repro.train.trainer import TrainConfig, Trainer
+
+__all__ = ["EvalConfig", "ComparisonResult", "train_predictor",
+           "evaluate_predictor", "run_comparison"]
+
+
+@dataclass
+class EvalConfig:
+    """Harness-level knobs (CPU-scale defaults)."""
+
+    target_edge: int = 48
+    num_points: int = 192
+    epochs: int = 40
+    pretrain_epochs: int = 3
+    batch_size: int = 4
+    lr: float = 1e-3
+    fake_oversample: int = 1
+    real_oversample: int = 3
+    hotspot_weight: float = 6.0
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls, **overrides) -> "EvalConfig":
+        """Build a config honouring ``REPRO_EVAL_*`` environment variables."""
+        def env_int(name: str, default: int) -> int:
+            return int(os.environ.get(name, default))
+
+        config = cls(
+            target_edge=env_int("REPRO_EVAL_EDGE", cls.target_edge),
+            num_points=env_int("REPRO_EVAL_POINTS", cls.num_points),
+            epochs=env_int("REPRO_EVAL_EPOCHS", cls.epochs),
+            pretrain_epochs=env_int("REPRO_EVAL_PRETRAIN", cls.pretrain_epochs),
+            batch_size=env_int("REPRO_EVAL_BATCH", cls.batch_size),
+            seed=env_int("REPRO_EVAL_SEED", cls.seed),
+        )
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+
+@dataclass
+class ComparisonResult:
+    """All Table III data: per-case rows, averages and ratio rows."""
+
+    per_model: Dict[str, List[CaseMetrics]]
+    averages: Dict[str, CaseMetrics]
+    ratios: Dict[str, Dict[str, float]]
+    train_seconds: Dict[str, float]
+    case_names: List[str] = field(default_factory=list)
+
+
+def _training_cases(spec: ModelSpec, suite: BenchmarkSuite) -> list:
+    if spec.train_on == "real_only":
+        return list(suite.real_cases)
+    return list(suite.training_cases)
+
+
+def train_predictor(spec_name: str, suite: BenchmarkSuite,
+                    config: Optional[EvalConfig] = None) -> Tuple[IRPredictor, float]:
+    """Train one registered model under its paper-documented regime."""
+    config = config or EvalConfig()
+    spec = MODEL_REGISTRY[spec_name]
+    seed_everything(config.seed)
+    model = spec.build()
+
+    preprocessor = CasePreprocessor(
+        channels=spec.channels,
+        target_edge=config.target_edge,
+        num_points=config.num_points,
+        use_pointcloud=spec.uses_pointcloud,
+    )
+    cases = _training_cases(spec, suite)
+    preprocessor.fit(cases)
+    dataset = IRDropDataset.with_oversampling(
+        cases,
+        fake_times=config.fake_oversample * spec.augment_multiplier,
+        real_times=config.real_oversample * spec.augment_multiplier,
+    )
+    epochs = max(1, int(round(config.epochs * spec.epoch_fraction)))
+    pretrain = config.pretrain_epochs if spec.uses_pointcloud else 0
+    trainer = Trainer(model, preprocessor, TrainConfig(
+        epochs=epochs,
+        pretrain_epochs=pretrain,
+        batch_size=config.batch_size,
+        lr=config.lr,
+        hotspot_weight=config.hotspot_weight,
+        seed=config.seed,
+    ))
+    start = time.perf_counter()
+    trainer.fit(list(dataset))
+    elapsed = time.perf_counter() - start
+    predictor = IRPredictor(model, preprocessor, name=spec_name,
+                            tta_samples=spec.tta_samples)
+    return predictor, elapsed
+
+
+def evaluate_predictor(predictor: IRPredictor,
+                       cases: Sequence) -> List[CaseMetrics]:
+    """Score a predictor on a list of cases (the 10 hidden testcases)."""
+    rows = []
+    for case in cases:
+        predicted, tat = predictor.predict_case(case)
+        rows.append(score_case(case.name, predicted, case.ir_map, tat))
+    return rows
+
+
+def run_comparison(suite: BenchmarkSuite, model_names: Sequence[str],
+                   config: Optional[EvalConfig] = None,
+                   reference: Optional[str] = None) -> ComparisonResult:
+    """Train + evaluate every requested model (the full Table III flow)."""
+    config = config or EvalConfig()
+    per_model: Dict[str, List[CaseMetrics]] = {}
+    averages: Dict[str, CaseMetrics] = {}
+    train_seconds: Dict[str, float] = {}
+    for name in model_names:
+        predictor, elapsed = train_predictor(name, suite, config)
+        rows = evaluate_predictor(predictor, suite.hidden_cases)
+        per_model[name] = rows
+        averages[name] = average_metrics(rows)
+        train_seconds[name] = elapsed
+    reference = reference or model_names[-1]
+    return ComparisonResult(
+        per_model=per_model,
+        averages=averages,
+        ratios=metric_ratios(averages, reference),
+        train_seconds=train_seconds,
+        case_names=[case.name for case in suite.hidden_cases],
+    )

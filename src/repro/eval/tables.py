@@ -1,0 +1,78 @@
+"""Text rendering of the paper's tables (I, II, III) and Fig. 4 series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.registry import MODEL_REGISTRY
+from repro.data.synthesis import BenchmarkSuite
+from repro.eval.harness import ComparisonResult
+
+__all__ = ["format_table1", "format_table2", "format_table3", "format_fig4"]
+
+_CHECK, _CROSS = "yes", "no"
+
+
+def format_table1(model_names: Sequence[str]) -> str:
+    """Table I: qualitative capability matrix from the model registry."""
+    columns = ["Fully handle Netlist", "Multimodal Fusion",
+               "Extra Features", "Global attention mechanism"]
+    name_width = max(len(name) for name in model_names) + 2
+    header = "Methods".ljust(name_width) + " | " + " | ".join(c for c in columns)
+    lines = [header, "-" * len(header)]
+    for name in model_names:
+        row = MODEL_REGISTRY[name].capability_row()
+        cells = [(_CHECK if row[c] else _CROSS).center(len(c)) for c in columns]
+        lines.append(name.ljust(name_width) + " | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_table2(suite: BenchmarkSuite) -> str:
+    """Table II: statistics (nodes, shape) of the hidden testcases."""
+    lines = ["Testcase      Nodes     Shape (px)"]
+    lines.append("-" * len(lines[0]))
+    for case in suite.hidden_cases:
+        rows, cols = case.shape
+        lines.append(f"{case.name:<12}  {case.num_nodes:>7,}   {rows}x{cols}")
+    return "\n".join(lines)
+
+
+def format_table3(result: ComparisonResult, model_names: Sequence[str]) -> str:
+    """Table III: per-testcase F1 / MAE (1e-4 V) / TAT (s) per model."""
+    header_cells = ["Circuits".ljust(12)]
+    for name in model_names:
+        header_cells.append(f"{name:^24}")
+    sub_cells = [" " * 12] + [f"{'F1':>7}{'MAE':>8}{'TAT':>9}" for _ in model_names]
+    lines = ["".join(header_cells), "".join(sub_cells)]
+    lines.append("-" * len(lines[1]))
+
+    for index, case_name in enumerate(result.case_names):
+        cells = [case_name.ljust(12)]
+        for name in model_names:
+            row = result.per_model[name][index]
+            cells.append(f"{row.f1:>7.2f}{row.mae_1e4:>8.2f}{row.tat_seconds:>9.3f}")
+        lines.append("".join(cells))
+
+    lines.append("-" * len(lines[1]))
+    cells = ["Avg".ljust(12)]
+    for name in model_names:
+        avg = result.averages[name]
+        cells.append(f"{avg.f1:>7.2f}{avg.mae_1e4:>8.2f}{avg.tat_seconds:>9.3f}")
+    lines.append("".join(cells))
+
+    cells = ["Ratio".ljust(12)]
+    for name in model_names:
+        ratio = result.ratios[name]
+        cells.append(f"{ratio['f1']:>7.2f}{ratio['mae']:>8.2f}{ratio['tat']:>9.2f}")
+    lines.append("".join(cells))
+    lines.append("MAE in 1e-4 V, TAT in seconds.")
+    return "\n".join(lines)
+
+
+def format_fig4(ablation: Dict[str, Tuple[float, float]]) -> str:
+    """Fig. 4 as text: F1 and MAE (1e-4 V) per ablation configuration."""
+    lines = ["Config     F1     MAE(1e-4)"]
+    lines.append("-" * len(lines[0]))
+    for name, (f1, mae_value) in ablation.items():
+        lines.append(f"{name:<9}{f1:>6.2f}  {mae_value * 1e4:>9.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""``repro.features`` — circuit-modality feature extraction.
+
+Contest maps (current, effective distance, PDN density), the paper's
+extra maps (voltage/current source, resistance), spatial pad-or-scale
+adjustment and per-channel normalisation.
+"""
+
+from repro.features.density import pdn_density_map
+from repro.features.distance import effective_distance_map, pad_positions_px
+from repro.features.maps import (
+    current_map,
+    current_source_map,
+    map_shape_for,
+    resistance_map,
+    voltage_source_map,
+)
+from repro.features.normalize import ChannelNormalizer, TargetScaler
+from repro.features.resize import (
+    PAPER_TARGET_EDGE,
+    SpatialAdjustment,
+    adjust_stack,
+    restore_map,
+)
+from repro.features.stack import (
+    ALL_CHANNELS,
+    CONTEST_CHANNELS,
+    EXTRA_CHANNELS,
+    compute_feature_maps,
+    stack_channels,
+)
+
+__all__ = [
+    "current_map", "current_source_map", "voltage_source_map", "resistance_map",
+    "effective_distance_map", "pad_positions_px", "pdn_density_map",
+    "map_shape_for",
+    "CONTEST_CHANNELS", "EXTRA_CHANNELS", "ALL_CHANNELS",
+    "compute_feature_maps", "stack_channels",
+    "adjust_stack", "restore_map", "SpatialAdjustment", "PAPER_TARGET_EDGE",
+    "ChannelNormalizer", "TargetScaler",
+]

@@ -1,0 +1,94 @@
+"""Per-channel normalisation (paper §III-A).
+
+The paper normalises each channel "to similar intervals" to remove
+inter-channel bias.  :class:`ChannelNormalizer` fits robust per-channel
+statistics on the training set and applies the same affine map at
+inference; :class:`TargetScaler` does the analogous 1-D scaling for the
+IR-drop target so the MSE loss operates in a well-conditioned range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ChannelNormalizer", "TargetScaler"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class ChannelNormalizer:
+    """Affine per-channel scaling ``(x - shift) / scale`` fit on data."""
+
+    mode: str = "minmax"  # "minmax" | "zscore"
+    shift: Optional[np.ndarray] = None
+    scale: Optional[np.ndarray] = None
+
+    def fit(self, stacks: Iterable[np.ndarray]) -> "ChannelNormalizer":
+        """Fit statistics over an iterable of (C, H, W) stacks."""
+        if self.mode not in ("minmax", "zscore"):
+            raise ValueError(f"unknown normalisation mode {self.mode!r}")
+        stacks = list(stacks)
+        if not stacks:
+            raise ValueError("cannot fit a normalizer on zero stacks")
+        channels = stacks[0].shape[0]
+        if any(s.shape[0] != channels for s in stacks):
+            raise ValueError("all stacks must share the channel count")
+
+        flattened = [
+            np.concatenate([s[c].reshape(-1) for s in stacks]) for c in range(channels)
+        ]
+        if self.mode == "minmax":
+            self.shift = np.array([values.min() for values in flattened])
+            self.scale = np.array([
+                max(values.max() - values.min(), _EPS) for values in flattened
+            ])
+        else:
+            self.shift = np.array([values.mean() for values in flattened])
+            self.scale = np.array([max(values.std(), _EPS) for values in flattened])
+        return self
+
+    def transform(self, stack: np.ndarray) -> np.ndarray:
+        if self.shift is None or self.scale is None:
+            raise RuntimeError("normalizer used before fit()")
+        if stack.shape[0] != self.shift.size:
+            raise ValueError(
+                f"stack has {stack.shape[0]} channels, normalizer fit on "
+                f"{self.shift.size}"
+            )
+        return (stack - self.shift[:, None, None]) / self.scale[:, None, None]
+
+    def fit_transform(self, stacks: Sequence[np.ndarray]) -> list:
+        self.fit(stacks)
+        return [self.transform(s) for s in stacks]
+
+
+@dataclass
+class TargetScaler:
+    """Scale IR-drop targets to ≈[0, 1] by the training-set maximum."""
+
+    max_value: Optional[float] = None
+
+    def fit(self, targets: Iterable[np.ndarray]) -> "TargetScaler":
+        peak = 0.0
+        count = 0
+        for target in targets:
+            peak = max(peak, float(np.max(target)))
+            count += 1
+        if count == 0:
+            raise ValueError("cannot fit a target scaler on zero maps")
+        self.max_value = max(peak, _EPS)
+        return self
+
+    def transform(self, target: np.ndarray) -> np.ndarray:
+        if self.max_value is None:
+            raise RuntimeError("target scaler used before fit()")
+        return target / self.max_value
+
+    def inverse(self, scaled: np.ndarray) -> np.ndarray:
+        if self.max_value is None:
+            raise RuntimeError("target scaler used before fit()")
+        return scaled * self.max_value

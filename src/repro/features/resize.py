@@ -1,0 +1,102 @@
+"""Spatial adjustment: the paper's pad-below / scale-above-512 rule.
+
+Samples vary from 204 px to 930 px per edge; batches need one spatial
+size.  Edges below the target are zero-padded (lossless); edges above are
+bilinearly scaled down (§III-A).  The :class:`SpatialAdjustment` record
+inverts the transform so predictions map back onto the original raster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["SpatialAdjustment", "adjust_stack", "restore_map", "PAPER_TARGET_EDGE"]
+
+PAPER_TARGET_EDGE = 512
+"""The edge length the paper trains at (tests/benches use smaller)."""
+
+
+@dataclass(frozen=True)
+class SpatialAdjustment:
+    """Record of one pad-or-scale operation (enough to invert it)."""
+
+    original_shape: Tuple[int, int]
+    target_edge: int
+    scale: float  # factor applied before padding (1.0 = pure padding)
+
+    @property
+    def scaled_shape(self) -> Tuple[int, int]:
+        rows, cols = self.original_shape
+        return (max(1, int(round(rows * self.scale))),
+                max(1, int(round(cols * self.scale))))
+
+    def mask(self) -> np.ndarray:
+        """Boolean (target, target) mask of valid (non-padding) pixels."""
+        valid = np.zeros((self.target_edge, self.target_edge), dtype=bool)
+        rows, cols = self.scaled_shape
+        valid[:rows, :cols] = True
+        return valid
+
+
+def adjust_stack(stack: np.ndarray, target_edge: int,
+                 preserve_peaks: bool = False) -> Tuple[np.ndarray, SpatialAdjustment]:
+    """Pad or scale a (C, H, W) stack to (C, target, target).
+
+    The paper's rule: pad when both edges are below the target (lossless
+    encoding), otherwise scale the long edge down to the target and pad
+    the remainder.
+
+    ``preserve_peaks`` applies a maximum filter before downscaling so local
+    maxima survive the bilinear reduction — used for IR-drop *targets*,
+    whose hotspot magnitude is exactly what the F1 metric scores.
+    """
+    if stack.ndim != 3:
+        raise ValueError(f"expected (C, H, W) stack, got shape {stack.shape}")
+    if target_edge < 1:
+        raise ValueError(f"target edge must be positive, got {target_edge}")
+    _, rows, cols = stack.shape
+    long_edge = max(rows, cols)
+    scale = 1.0 if long_edge <= target_edge else target_edge / long_edge
+
+    if scale != 1.0:
+        source = stack
+        if preserve_peaks:
+            footprint = int(np.ceil(1.0 / scale))
+            source = ndimage.maximum_filter(
+                stack, size=(1, footprint, footprint), mode="nearest"
+            )
+        scaled = ndimage.zoom(source, (1.0, scale, scale), order=1)
+        # zoom rounding can overshoot by a pixel; crop defensively
+        scaled = scaled[:, :target_edge, :target_edge]
+    else:
+        scaled = stack
+
+    channels, srows, scols = scaled.shape
+    output = np.zeros((channels, target_edge, target_edge), dtype=stack.dtype)
+    output[:, :srows, :scols] = scaled
+    adjustment = SpatialAdjustment(
+        original_shape=(rows, cols), target_edge=target_edge, scale=scale
+    )
+    return output, adjustment
+
+
+def restore_map(map_2d: np.ndarray, adjustment: SpatialAdjustment) -> np.ndarray:
+    """Invert :func:`adjust_stack` for a single-channel prediction."""
+    if map_2d.shape != (adjustment.target_edge, adjustment.target_edge):
+        raise ValueError(
+            f"map shape {map_2d.shape} does not match adjustment target "
+            f"{adjustment.target_edge}"
+        )
+    rows, cols = adjustment.scaled_shape
+    cropped = map_2d[:rows, :cols]
+    if adjustment.scale == 1.0:
+        return cropped.copy()
+    orig_rows, orig_cols = adjustment.original_shape
+    restored = ndimage.zoom(
+        cropped, (orig_rows / cropped.shape[0], orig_cols / cropped.shape[1]), order=1
+    )
+    return restored[:orig_rows, :orig_cols]

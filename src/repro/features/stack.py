@@ -1,0 +1,67 @@
+"""Feature-stack assembly: named channels in a canonical order.
+
+The contest provides three maps; the paper adds three more (§III-A).
+Baselines consume subsets: IREDGe sees only the contest channels
+(its Table I row: no extra features), while LMM-IR and the contest-winner
+baselines see all six.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.density import pdn_density_map
+from repro.features.distance import effective_distance_map
+from repro.features.maps import (
+    current_map,
+    current_source_map,
+    map_shape_for,
+    resistance_map,
+    voltage_source_map,
+)
+from repro.spice.netlist import Netlist
+
+__all__ = [
+    "CONTEST_CHANNELS", "EXTRA_CHANNELS", "ALL_CHANNELS",
+    "compute_feature_maps", "stack_channels",
+]
+
+CONTEST_CHANNELS: Tuple[str, ...] = ("current", "eff_dist", "pdn_density")
+"""The three maps given by the ICCAD-2023 contest."""
+
+EXTRA_CHANNELS: Tuple[str, ...] = ("voltage_src", "current_src", "resistance")
+"""The paper's additional structure maps."""
+
+ALL_CHANNELS: Tuple[str, ...] = CONTEST_CHANNELS + EXTRA_CHANNELS
+
+
+def compute_feature_maps(
+    netlist: Netlist,
+    shape: Optional[Tuple[int, int]] = None,
+    power_density: Optional[np.ndarray] = None,
+    density_window_px: int = 15,
+) -> Dict[str, np.ndarray]:
+    """Compute every named feature map for a netlist."""
+    shape = shape or map_shape_for(netlist)
+    return {
+        "current": current_map(netlist, shape, power_density=power_density),
+        "eff_dist": effective_distance_map(netlist, shape),
+        "pdn_density": pdn_density_map(netlist, shape, window_px=density_window_px),
+        "voltage_src": voltage_source_map(netlist, shape),
+        "current_src": current_source_map(netlist, shape),
+        "resistance": resistance_map(netlist, shape),
+    }
+
+
+def stack_channels(feature_maps: Dict[str, np.ndarray],
+                   channels: Sequence[str] = ALL_CHANNELS) -> np.ndarray:
+    """Stack named maps into a (C, H, W) array in the requested order."""
+    missing = [name for name in channels if name not in feature_maps]
+    if missing:
+        raise KeyError(f"missing feature maps: {missing}")
+    shapes = {feature_maps[name].shape for name in channels}
+    if len(shapes) != 1:
+        raise ValueError(f"feature maps disagree on shape: {sorted(shapes)}")
+    return np.stack([feature_maps[name] for name in channels], axis=0)

@@ -1,0 +1,68 @@
+"""Hotspot classification metrics (paper Definition 1).
+
+Pixels whose *true* IR drop exceeds 90 % of the true maximum are the
+positive class; predictions are thresholded at the same absolute value, so
+a model must get both the hotspot location and its magnitude right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["F1Result", "f1_at_hotspot_threshold", "confusion_counts"]
+
+HOTSPOT_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class F1Result:
+    """Confusion counts and derived scores for one case."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def num_positive(self) -> int:
+        return self.tp + self.fn
+
+
+def confusion_counts(predicted: np.ndarray, truth: np.ndarray,
+                     threshold: float) -> F1Result:
+    """Confusion matrix of ``> threshold`` binarisation of both maps."""
+    if predicted.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs truth {truth.shape}"
+        )
+    pred_positive = predicted > threshold
+    true_positive = truth > threshold
+    tp = int(np.sum(pred_positive & true_positive))
+    fp = int(np.sum(pred_positive & ~true_positive))
+    fn = int(np.sum(~pred_positive & true_positive))
+    tn = int(np.sum(~pred_positive & ~true_positive))
+    return F1Result(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def f1_at_hotspot_threshold(predicted: np.ndarray, truth: np.ndarray,
+                            fraction: float = HOTSPOT_FRACTION) -> F1Result:
+    """The contest metric: threshold at ``fraction`` of the true maximum."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    threshold = fraction * float(truth.max())
+    return confusion_counts(predicted, truth, threshold)

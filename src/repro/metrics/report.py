@@ -1,0 +1,72 @@
+"""Per-case metric rows and Table III style aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.classification import F1Result, f1_at_hotspot_threshold
+from repro.metrics.regression import mae
+
+__all__ = ["CaseMetrics", "score_case", "average_metrics", "metric_ratios"]
+
+
+@dataclass(frozen=True)
+class CaseMetrics:
+    """One (model, testcase) cell of Table III."""
+
+    case_name: str
+    f1: float
+    mae: float
+    tat_seconds: float
+
+    @property
+    def mae_1e4(self) -> float:
+        """MAE in the contest's 1e-4 V units."""
+        return self.mae * 1e4
+
+
+def score_case(case_name: str, predicted: np.ndarray, truth: np.ndarray,
+               tat_seconds: float) -> CaseMetrics:
+    """Compute the paper's three reported metrics for one case."""
+    result: F1Result = f1_at_hotspot_threshold(predicted, truth)
+    return CaseMetrics(
+        case_name=case_name,
+        f1=result.f1,
+        mae=mae(predicted, truth),
+        tat_seconds=tat_seconds,
+    )
+
+
+def average_metrics(rows: Sequence[CaseMetrics]) -> CaseMetrics:
+    """The "Avg" row: arithmetic means over cases."""
+    if not rows:
+        raise ValueError("cannot average zero metric rows")
+    return CaseMetrics(
+        case_name="Avg",
+        f1=float(np.mean([r.f1 for r in rows])),
+        mae=float(np.mean([r.mae for r in rows])),
+        tat_seconds=float(np.mean([r.tat_seconds for r in rows])),
+    )
+
+
+def metric_ratios(averages: Dict[str, CaseMetrics],
+                  reference: str) -> Dict[str, Dict[str, float]]:
+    """The "Ratio" row: each model's averages relative to ``reference``.
+
+    F1 ratio is model/reference (higher better); MAE and TAT ratios are
+    model/reference too (lower better), exactly as the paper tabulates.
+    """
+    if reference not in averages:
+        raise KeyError(f"reference model {reference!r} not in results")
+    base = averages[reference]
+    ratios: Dict[str, Dict[str, float]] = {}
+    for model_name, row in averages.items():
+        ratios[model_name] = {
+            "f1": row.f1 / base.f1 if base.f1 else 0.0,
+            "mae": row.mae / base.mae if base.mae else 0.0,
+            "tat": row.tat_seconds / base.tat_seconds if base.tat_seconds else 0.0,
+        }
+    return ratios

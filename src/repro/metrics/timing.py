@@ -1,0 +1,34 @@
+"""Turn-around-time measurement (paper Definition 3)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Tuple, TypeVar
+
+__all__ = ["Timer", "measure_tat"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager accumulating wall-clock seconds."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds += time.perf_counter() - self._start
+        self._start = None
+
+
+def measure_tat(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` once, returning (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

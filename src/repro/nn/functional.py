@@ -1,0 +1,705 @@
+"""Differentiable operations for the numpy autograd engine.
+
+Every function takes :class:`~repro.nn.tensor.Tensor` inputs (scalars and
+arrays are coerced to constant tensors), performs the forward computation
+with numpy, and registers a backward closure implementing the analytic
+vector-Jacobian product.  Convolutions use the standard im2col/col2im
+lowering so the heavy lifting is a single BLAS ``matmul``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow", "abs", "clip",
+    "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "gelu",
+    "matmul", "reshape", "transpose", "getitem", "concat", "stack",
+    "pad2d", "sum", "mean", "max", "min", "softmax", "log_softmax",
+    "conv2d", "conv_transpose2d", "max_pool2d", "avg_pool2d",
+    "upsample_nearest2d", "embedding", "dropout", "where",
+]
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# Graph-building helpers
+# ----------------------------------------------------------------------
+def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward_fn) -> Tensor:
+    """Create an output tensor, recording the graph only when needed."""
+    if is_grad_enabled() and any(p.requires_grad for p in parents):
+        return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
+    return Tensor(data)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    reduce_axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if reduce_axes:
+        grad = grad.sum(axis=reduce_axes, keepdims=True)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# Elementwise binary operations
+# ----------------------------------------------------------------------
+def add(a, b) -> Tensor:
+    """Elementwise addition with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    """Elementwise subtraction with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    """Elementwise multiplication with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    """Elementwise division with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    """Elementwise negation."""
+    a = as_tensor(a)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(-grad)
+
+    return _make(-a.data, (a,), backward)
+
+
+def pow(a, exponent: float) -> Tensor:
+    """Elementwise power with a *constant* exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out_data = a.data ** exponent
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * exponent * a.data ** (exponent - 1.0))
+
+    return _make(out_data, (a,), backward)
+
+
+def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value (subgradient sign(x))."""
+    a = as_tensor(a)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * np.sign(a.data))
+
+    return _make(np.abs(a.data), (a,), backward)
+
+
+def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
+    """Clamp values; gradient is passed through only inside the range."""
+    a = as_tensor(a)
+    out_data = np.clip(a.data, low, high)
+    inside = np.ones_like(a.data, dtype=bool)
+    if low is not None:
+        inside &= a.data > low
+    if high is not None:
+        inside &= a.data < high
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * inside)
+
+    return _make(out_data, (a,), backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Select ``a`` where ``condition`` (a constant boolean array) else ``b``."""
+    a, b = as_tensor(a), as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * condition, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * ~condition, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Elementwise unary nonlinearities
+# ----------------------------------------------------------------------
+def exp(a) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * out_data)
+
+    return _make(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad / a.data)
+
+    return _make(np.log(a.data), (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * 0.5 / out_data)
+
+    return _make(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * (1.0 - out_data ** 2))
+
+    return _make(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    a = as_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return _make(out_data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    """Elementwise rectifier, max(x, 0)."""
+    a = as_tensor(a)
+    mask = a.data > 0
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return _make(a.data * mask, (a,), backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    """Rectifier with a small negative-side slope."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * scale)
+
+    return _make(a.data * scale, (a,), backward)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(a) -> Tensor:
+    """GELU with the tanh approximation (as used by transformer blocks)."""
+    a = as_tensor(a)
+    x = a.data
+    inner = _GELU_C * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    out_data = 0.5 * x * (1.0 + t)
+
+    def backward(grad):
+        if a.requires_grad:
+            dinner = _GELU_C * (1.0 + 3.0 * 0.044715 * x ** 2)
+            da = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner
+            a.accumulate_grad(grad * da)
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra and shape manipulation
+# ----------------------------------------------------------------------
+def matmul(a, b) -> Tensor:
+    """Matrix product supporting numpy-style batched broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                grad_a = np.multiply.outer(grad, b.data) if grad.ndim else grad * b.data
+            else:
+                grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            if a.data.ndim == 1 and grad_a.ndim > 1:
+                grad_a = grad_a.sum(axis=tuple(range(grad_a.ndim - 1)))
+            a.accumulate_grad(_unbroadcast(grad_a, a.shape))
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                grad_b = np.multiply.outer(a.data, grad) if grad.ndim else a.data * grad
+            else:
+                grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            if b.data.ndim == 1 and grad_b.ndim > 1:
+                grad_b = grad_b.sum(axis=tuple(range(grad_b.ndim - 1)))
+            b.accumulate_grad(_unbroadcast(grad_b, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def reshape(a, shape: Tuple[int, ...]) -> Tensor:
+    """View the tensor with a new shape (data preserved)."""
+    a = as_tensor(a)
+    original_shape = a.shape
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(original_shape))
+
+    return _make(a.data.reshape(shape), (a,), backward)
+
+
+def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    """Permute axes (defaults to full reversal)."""
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    inverse = np.argsort(axes)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad.transpose(inverse))
+
+    return _make(a.data.transpose(axes), (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    """Indexing / slicing with gradient scatter-add on the way back."""
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            a.accumulate_grad(full)
+
+    return _make(np.array(out_data, copy=True), (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor.accumulate_grad(grad[tuple(slicer)])
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        pieces = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor.accumulate_grad(piece)
+
+    return _make(out_data, tuple(tensors), backward)
+
+
+def pad2d(a, pad: Tuple[int, int, int, int], value: float = 0.0) -> Tensor:
+    """Pad the last two (spatial) dims: pad = (top, bottom, left, right)."""
+    a = as_tensor(a)
+    top, bottom, left, right = pad
+    width = [(0, 0)] * (a.ndim - 2) + [(top, bottom), (left, right)]
+    out_data = np.pad(a.data, width, constant_values=value)
+    h, w = a.shape[-2], a.shape[-1]
+
+    def backward(grad):
+        if a.requires_grad:
+            slicer = (Ellipsis, slice(top, top + h), slice(left, left + w))
+            a.accumulate_grad(grad[slicer])
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _expand_reduced(grad: np.ndarray, shape, axis: Axis, keepdims: bool) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(ax % len(shape) for ax in axes)
+    if not keepdims:
+        grad = np.expand_dims(grad, axes)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over the given axis/axes (or all elements)."""
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(_expand_reduced(grad, a.shape, axis, keepdims).copy())
+
+    return _make(out_data, (a,), backward)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Mean over the given axis/axes (or all elements)."""
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else int(np.prod(
+        [a.shape[ax % a.ndim] for ax in ((axis,) if isinstance(axis, int) else axis)]
+    ))
+
+    def backward(grad):
+        if a.requires_grad:
+            expanded = _expand_reduced(grad, a.shape, axis, keepdims)
+            a.accumulate_grad(expanded / count)
+
+    return _make(out_data, (a,), backward)
+
+
+def _extremum(a, axis: Axis, keepdims: bool, reducer, name: str) -> Tensor:
+    a = as_tensor(a)
+    out_data = reducer(a.data, axis=axis, keepdims=keepdims)
+    reference = reducer(a.data, axis=axis, keepdims=True)
+    mask = a.data == reference
+    counts = mask.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if a.requires_grad:
+            expanded = _expand_reduced(grad, a.shape, axis, keepdims)
+            a.accumulate_grad(expanded * mask / counts)
+
+    return _make(out_data, (a,), backward)
+
+
+def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over an axis; ties share the gradient."""
+    return _extremum(a, axis, keepdims, np.max, "max")
+
+
+def min(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Minimum over an axis; ties share the gradient."""
+    return _extremum(a, axis, keepdims, np.min, "min")
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along an axis."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exp_data = np.exp(shifted)
+    out_data = exp_data / exp_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if a.requires_grad:
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            a.accumulate_grad(out_data * (grad - inner))
+
+    return _make(out_data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along an axis."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return _make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Convolution machinery (im2col / col2im lowering)
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int):
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int) -> np.ndarray:
+    n, c, h, w = x_shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        row_end = i + stride * oh
+        for j in range(kw):
+            col_end = j + stride * ow
+            x[:, :, i:row_end:stride, j:col_end:stride] += cols[:, :, i, j]
+    return x
+
+
+def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution.  ``x``: (N,C,H,W); ``weight``: (F,C,KH,KW)."""
+    x, weight = as_tensor(x), as_tensor(weight)
+    bias = as_tensor(bias) if bias is not None else None
+    f, c, kh, kw = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(f"conv2d channel mismatch: input {x.shape[1]} vs weight {c}")
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) \
+        if padding else x.data
+    cols, oh, ow = _im2col(padded, kh, kw, stride)
+    w_mat = weight.data.reshape(f, c * kh * kw)
+    out = np.matmul(w_mat, cols).reshape(x.shape[0], f, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+    padded_shape = padded.shape
+
+    def backward(grad):
+        grad_mat = grad.reshape(grad.shape[0], f, oh * ow)
+        if weight.requires_grad:
+            dw = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+            weight.accumulate_grad(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            dcols = np.matmul(w_mat.T, grad_mat)
+            dx = _col2im(dcols, padded_shape, kh, kw, stride)
+            if padding:
+                dx = dx[:, :, padding:-padding or None, padding:-padding or None]
+            x.accumulate_grad(dx)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return _make(out, parents, backward)
+
+
+def conv_transpose2d(
+    x, weight, bias=None, stride: int = 1, padding: int = 0, output_padding: int = 0
+) -> Tensor:
+    """Transposed 2-D convolution (the decoder's learned upsampling).
+
+    ``x``: (N,C_in,H,W); ``weight``: (C_in,C_out,KH,KW) (PyTorch layout).
+    Output spatial size is ``(H - 1) * stride - 2 * padding + KH + output_padding``.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    bias = as_tensor(bias) if bias is not None else None
+    c_in, c_out, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(f"conv_transpose2d channel mismatch: {x.shape[1]} vs {c_in}")
+    n, _, h, w = x.shape
+    h_full = (h - 1) * stride + kh
+    w_full = (w - 1) * stride + kw
+    h_out = h_full - 2 * padding + output_padding
+    w_out = w_full - 2 * padding + output_padding
+
+    x_mat = x.data.reshape(n, c_in, h * w)
+    w_mat = weight.data.reshape(c_in, c_out * kh * kw)
+    cols = np.matmul(w_mat.T, x_mat)
+    full = _col2im(cols, (n, c_out, h_full, w_full), kh, kw, stride)
+    if output_padding:
+        full = np.pad(full, ((0, 0), (0, 0), (0, output_padding), (0, output_padding)))
+    out = full[:, :, padding:padding + h_out, padding:padding + w_out]
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+    out = np.ascontiguousarray(out)
+
+    def backward(grad):
+        grad_full = np.zeros((n, c_out, h_full + output_padding, w_full + output_padding),
+                             dtype=grad.dtype)
+        grad_full[:, :, padding:padding + h_out, padding:padding + w_out] = grad
+        grad_full = grad_full[:, :, :h_full, :w_full]
+        dcols, _, _ = _im2col(grad_full, kh, kw, stride)
+        if x.requires_grad:
+            dx = np.matmul(w_mat, dcols).reshape(x.shape)
+            x.accumulate_grad(dx)
+        if weight.requires_grad:
+            dw = np.matmul(x_mat, dcols.transpose(0, 2, 1)).sum(axis=0)
+            weight.accumulate_grad(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return _make(out, parents, backward)
+
+
+def max_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over (N, C, H, W); gradient to argmax."""
+    x = as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    kh = kw = kernel_size
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :].reshape(n, c, oh, ow, kh * kw)
+    flat_idx = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, flat_idx[..., None], axis=-1)[..., 0]
+
+    def backward(grad):
+        if x.requires_grad:
+            dx = np.zeros_like(x.data)
+            ni, ci, oi, oj = np.indices((n, c, oh, ow))
+            rows = oi * stride + flat_idx // kw
+            cols_ = oj * stride + flat_idx % kw
+            np.add.at(dx, (ni, ci, rows, cols_), grad)
+            x.accumulate_grad(dx)
+
+    return _make(np.ascontiguousarray(out), (x,), backward)
+
+
+def avg_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over (N, C, H, W)."""
+    x = as_tensor(x)
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    kh = kw = kernel_size
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    out = windows.mean(axis=(-1, -2))
+
+    def backward(grad):
+        if x.requires_grad:
+            dx = np.zeros_like(x.data)
+            share = grad / (kh * kw)
+            for i in range(kh):
+                for j in range(kw):
+                    dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += share
+            x.accumulate_grad(dx)
+
+    return _make(np.ascontiguousarray(out), (x,), backward)
+
+
+def upsample_nearest2d(x, scale: int = 2) -> Tensor:
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    out = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+
+    def backward(grad):
+        if x.requires_grad:
+            folded = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+            x.accumulate_grad(folded)
+
+    return _make(out, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# Lookup / regularisation
+# ----------------------------------------------------------------------
+def embedding(weight, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weight[indices]`` with scatter-add gradient."""
+    weight = as_tensor(weight)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad):
+        if weight.requires_grad:
+            dw = np.zeros_like(weight.data)
+            np.add.at(dw, indices, grad)
+            weight.accumulate_grad(dw)
+
+    return _make(out_data, (weight,), backward)
+
+
+def dropout(x, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity in eval mode or at p=0."""
+    x = as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward(grad):
+        if x.requires_grad:
+            x.accumulate_grad(grad * mask)
+
+    return _make(x.data * mask, (x,), backward)

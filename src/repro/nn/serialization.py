@@ -1,0 +1,36 @@
+"""Checkpoint (de)serialisation for modules and optimisers (npz files)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_module", "load_module", "save_state", "load_state"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a flat name→array mapping to an ``.npz`` file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a mapping previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Persist a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Restore a module in place from :func:`save_module` output."""
+    module.load_state_dict(load_state(path))
+    return module

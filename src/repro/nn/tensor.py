@@ -1,0 +1,332 @@
+"""Autograd tensor: the foundation of the from-scratch NN framework.
+
+The paper trains LMM-IR with PyTorch; this reproduction substitutes a
+minimal-but-complete reverse-mode autodiff engine on top of numpy (see
+DESIGN.md, substitution table).  Every differentiable operation builds a
+node in a dynamic DAG; :meth:`Tensor.backward` walks the DAG in reverse
+topological order and accumulates gradients.
+
+Only the plumbing lives here; the actual operators are defined in
+:mod:`repro.nn.functional` and attached to :class:`Tensor` as thin method
+wrappers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+
+DEFAULT_DTYPE = np.float64
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+class Tensor:
+    """A numpy array plus reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything :func:`numpy.asarray` accepts.  Stored as ``float64`` by
+        default so finite-difference gradient checks are meaningful.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+    ):
+        if isinstance(data, Tensor):
+            raise TypeError("wrap raw arrays, not Tensors; use tensor.detach()")
+        array = np.asarray(data)
+        if array.dtype != DEFAULT_DTYPE:
+            array = array.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = _parents
+        self._backward_fn = _backward_fn
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item(self)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.requires_grad = False
+        out._parents = ()
+        out._backward_fn = None
+        return out
+
+    def clone(self) -> "Tensor":
+        """Return a detached copy of this tensor's data."""
+        return Tensor(self.data.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to ``ones`` which is only allowed
+            for scalar outputs (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor "
+                    f"shape {self.data.shape}"
+                )
+
+        self.accumulate_grad(grad)
+        for node in self._toposort():
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def _toposort(self) -> Iterable["Tensor"]:
+        """Iterative reverse topological order starting from ``self``."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return reversed(order)
+
+    # ------------------------------------------------------------------
+    # Operator sugar (implementations live in repro.nn.functional)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(self, other)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        from repro.nn import functional as F
+
+        return F.neg(self)
+
+    def __sub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.nn import functional as F
+
+        return F.sub(as_tensor(other), self)
+
+    def __mul__(self, other):
+        from repro.nn import functional as F
+
+        return F.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.div(as_tensor(other), self)
+
+    def __pow__(self, exponent):
+        from repro.nn import functional as F
+
+        return F.pow(self, exponent)
+
+    def __matmul__(self, other):
+        from repro.nn import functional as F
+
+        return F.matmul(self, other)
+
+    def __getitem__(self, index):
+        from repro.nn import functional as F
+
+        return F.getitem(self, index)
+
+    # Named method forms -------------------------------------------------
+    def reshape(self, *shape):
+        from repro.nn import functional as F
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return F.reshape(self, shape)
+
+    def transpose(self, *axes):
+        from repro.nn import functional as F
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return F.transpose(self, axes or None)
+
+    def sum(self, axis=None, keepdims=False):
+        from repro.nn import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        from repro.nn import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        from repro.nn import functional as F
+
+        return F.max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        from repro.nn import functional as F
+
+        return F.min(self, axis=axis, keepdims=keepdims)
+
+    def exp(self):
+        from repro.nn import functional as F
+
+        return F.exp(self)
+
+    def log(self):
+        from repro.nn import functional as F
+
+        return F.log(self)
+
+    def sqrt(self):
+        from repro.nn import functional as F
+
+        return F.sqrt(self)
+
+    def relu(self):
+        from repro.nn import functional as F
+
+        return F.relu(self)
+
+    def sigmoid(self):
+        from repro.nn import functional as F
+
+        return F.sigmoid(self)
+
+    def tanh(self):
+        from repro.nn import functional as F
+
+        return F.tanh(self)
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable module attribute."""
+
+    __slots__ = ()
+
+    def __init__(self, data: ArrayLike):
+        super().__init__(data, requires_grad=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(shape={self.shape})"
+
+
+def as_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce scalars / arrays to (constant) tensors; pass tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _raise_item(tensor: Tensor) -> float:
+    raise ValueError(f"item() requires a single-element tensor, got {tensor.shape}")

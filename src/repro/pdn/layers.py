@@ -1,0 +1,102 @@
+"""Metal layer stack specification for synthetic PDNs.
+
+A power delivery network alternates routing direction between adjacent
+metal layers; lower layers are thin (high resistance, fine pitch), upper
+layers thick (low resistance, coarse pitch).  Vias connect adjacent layers
+at stripe crossings — the paper emphasises modelling them explicitly
+(§III-B: "increased IR drops at via positions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["MetalLayer", "LayerStack"]
+
+HORIZONTAL = "h"
+VERTICAL = "v"
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One PDN metal layer.
+
+    Attributes
+    ----------
+    index:
+        Metal number used in node names (m{index}).
+    direction:
+        ``"h"`` for horizontal stripes (constant y), ``"v"`` for vertical.
+    pitch_um:
+        Distance between adjacent stripes.
+    offset_um:
+        Position of the first stripe.
+    ohms_per_um:
+        Wire resistance per micrometre of stripe length.
+    via_ohms_up:
+        Resistance of a via from this layer to the next layer above.
+    """
+
+    index: int
+    direction: str
+    pitch_um: float
+    offset_um: float
+    ohms_per_um: float
+    via_ohms_up: float = 1.0
+
+    def __post_init__(self):
+        if self.direction not in (HORIZONTAL, VERTICAL):
+            raise ValueError(f"direction must be 'h' or 'v', got {self.direction!r}")
+        if self.pitch_um <= 0:
+            raise ValueError(f"pitch must be positive, got {self.pitch_um}")
+        if self.ohms_per_um <= 0:
+            raise ValueError(f"wire resistance must be positive, got {self.ohms_per_um}")
+        if self.via_ohms_up <= 0:
+            raise ValueError(f"via resistance must be positive, got {self.via_ohms_up}")
+
+    def stripe_positions(self, extent_um: float) -> List[float]:
+        """Coordinates (perpendicular to the stripes) inside [0, extent]."""
+        positions = []
+        coordinate = self.offset_um
+        while coordinate <= extent_um + 1e-9:
+            positions.append(round(coordinate, 6))
+            coordinate += self.pitch_um
+        return positions
+
+
+@dataclass(frozen=True)
+class LayerStack:
+    """Ordered bottom-to-top collection of :class:`MetalLayer`."""
+
+    layers: Tuple[MetalLayer, ...]
+
+    def __post_init__(self):
+        if len(self.layers) < 2:
+            raise ValueError("a PDN stack needs at least two layers")
+        indices = [layer.index for layer in self.layers]
+        if indices != sorted(indices) or len(set(indices)) != len(indices):
+            raise ValueError(f"layer indices must be strictly increasing, got {indices}")
+        for lower, upper in zip(self.layers, self.layers[1:]):
+            if lower.direction == upper.direction:
+                raise ValueError(
+                    f"adjacent layers m{lower.index}/m{upper.index} must alternate "
+                    "routing direction"
+                )
+
+    @property
+    def bottom(self) -> MetalLayer:
+        return self.layers[0]
+
+    @property
+    def top(self) -> MetalLayer:
+        return self.layers[-1]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def adjacent_pairs(self) -> List[Tuple[MetalLayer, MetalLayer]]:
+        return list(zip(self.layers, self.layers[1:]))

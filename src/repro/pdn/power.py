@@ -1,0 +1,85 @@
+"""Synthetic switching-power (current demand) map generation.
+
+The contest's current maps come from placed-and-routed designs; this module
+generates statistically similar fields: a smooth low-frequency background
+plus a handful of concentrated hotspots (high-activity macros), normalised
+to a prescribed total current.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["synthetic_power_map", "hotspot_centers"]
+
+
+def hotspot_centers(shape: Tuple[int, int], count: int,
+                    rng: np.random.Generator, margin: float = 0.1) -> np.ndarray:
+    """Sample hotspot centres away from the die edge; shape (count, 2) [row, col]."""
+    rows, cols = shape
+    row_lo, row_hi = margin * rows, (1 - margin) * rows
+    col_lo, col_hi = margin * cols, (1 - margin) * cols
+    centers = np.column_stack([
+        rng.uniform(row_lo, row_hi, size=count),
+        rng.uniform(col_lo, col_hi, size=count),
+    ])
+    return centers
+
+
+def synthetic_power_map(
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    hotspots: int = 4,
+    background: float = 0.4,
+    hotspot_sigma_frac: Tuple[float, float] = (0.06, 0.14),
+    noise: float = 0.15,
+) -> np.ndarray:
+    """Generate a non-negative power-density map summing to 1.
+
+    Parameters
+    ----------
+    shape:
+        (rows, cols) of the 1 µm raster.
+    hotspots:
+        Number of Gaussian hotspots.
+    background:
+        Fraction of total power in the smooth background (0 = all hotspots).
+    hotspot_sigma_frac:
+        Hotspot radius range as a fraction of the shorter die edge.
+    noise:
+        Relative amplitude of smoothed white noise mixed into the background.
+    """
+    if not 0.0 <= background <= 1.0:
+        raise ValueError(f"background fraction must be in [0, 1], got {background}")
+    rows, cols = shape
+    yy, xx = np.mgrid[0:rows, 0:cols]
+
+    field = np.zeros(shape, dtype=float)
+    if hotspots > 0:
+        short_edge = min(rows, cols)
+        centers = hotspot_centers(shape, hotspots, rng)
+        weights = rng.uniform(0.5, 1.5, size=hotspots)
+        for (cy, cx), weight in zip(centers, weights):
+            sigma = rng.uniform(*hotspot_sigma_frac) * short_edge
+            blob = np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2.0 * sigma ** 2))
+            field += weight * blob
+        total = field.sum()
+        if total > 0:
+            field = field / total * (1.0 - background)
+
+    if background > 0:
+        base = np.ones(shape, dtype=float)
+        if noise > 0:
+            rough = rng.normal(0.0, 1.0, size=shape)
+            smooth = ndimage.gaussian_filter(rough, sigma=max(min(rows, cols) / 16, 1))
+            spread = smooth.std()
+            if spread > 0:
+                base = base + noise * smooth / spread
+            base = np.clip(base, 0.05, None)
+        field = field + base / base.sum() * background
+
+    total = field.sum()
+    return field / total if total > 0 else np.full(shape, 1.0 / field.size)

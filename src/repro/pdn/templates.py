@@ -1,0 +1,69 @@
+"""Named layer-stack templates and benchmark suite geometry.
+
+``contest_stack`` mimics the ICCAD-2023 PDN structure (m1/m4/m7/m8/m9 with
+alternating direction and decreasing resistance going up); ``small_stack``
+is a three-layer stack for fast unit tests.  ``HIDDEN_CASE_SPECS`` encodes
+the Table II testcase geometry, which the synthesis layer scales to the
+CPU budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.pdn.layers import LayerStack, MetalLayer
+
+__all__ = ["small_stack", "contest_stack", "HIDDEN_CASE_SPECS", "HiddenCaseSpec"]
+
+
+def small_stack(pitch_scale: float = 1.0) -> LayerStack:
+    """Three-layer stack for unit tests (m1 rails, m4 straps, m7 mesh)."""
+    return LayerStack(layers=(
+        MetalLayer(index=1, direction="h", pitch_um=4.0 * pitch_scale,
+                   offset_um=0.0, ohms_per_um=2.0, via_ohms_up=2.0),
+        MetalLayer(index=4, direction="v", pitch_um=8.0 * pitch_scale,
+                   offset_um=0.0, ohms_per_um=0.4, via_ohms_up=1.0),
+        MetalLayer(index=7, direction="h", pitch_um=16.0 * pitch_scale,
+                   offset_um=0.0, ohms_per_um=0.1, via_ohms_up=0.5),
+    ))
+
+
+def contest_stack(pitch_scale: float = 1.0) -> LayerStack:
+    """Five-layer contest-like stack (m1, m4, m7, m8, m9)."""
+    return LayerStack(layers=(
+        MetalLayer(index=1, direction="h", pitch_um=2.0 * pitch_scale,
+                   offset_um=0.0, ohms_per_um=4.0, via_ohms_up=4.0),
+        MetalLayer(index=4, direction="v", pitch_um=8.0 * pitch_scale,
+                   offset_um=1.0, ohms_per_um=0.8, via_ohms_up=2.0),
+        MetalLayer(index=7, direction="h", pitch_um=16.0 * pitch_scale,
+                   offset_um=2.0, ohms_per_um=0.2, via_ohms_up=1.0),
+        MetalLayer(index=8, direction="v", pitch_um=24.0 * pitch_scale,
+                   offset_um=4.0, ohms_per_um=0.1, via_ohms_up=0.5),
+        MetalLayer(index=9, direction="h", pitch_um=32.0 * pitch_scale,
+                   offset_um=8.0, ohms_per_um=0.05, via_ohms_up=0.25),
+    ))
+
+
+@dataclass(frozen=True)
+class HiddenCaseSpec:
+    """Geometry of one Table II hidden testcase (full-scale numbers)."""
+
+    case_id: int
+    edge_px: int
+    nodes: int
+
+
+# Table II of the paper: testcase id -> (shape edge in px, node count)
+HIDDEN_CASE_SPECS: Tuple[HiddenCaseSpec, ...] = (
+    HiddenCaseSpec(case_id=7, edge_px=601, nodes=85_591),
+    HiddenCaseSpec(case_id=8, edge_px=601, nodes=83_030),
+    HiddenCaseSpec(case_id=9, edge_px=835, nodes=166_734),
+    HiddenCaseSpec(case_id=10, edge_px=835, nodes=159_940),
+    HiddenCaseSpec(case_id=13, edge_px=257, nodes=15_768),
+    HiddenCaseSpec(case_id=14, edge_px=257, nodes=15_436),
+    HiddenCaseSpec(case_id=15, edge_px=489, nodes=57_508),
+    HiddenCaseSpec(case_id=16, edge_px=489, nodes=55_197),
+    HiddenCaseSpec(case_id=19, edge_px=870, nodes=181_206),
+    HiddenCaseSpec(case_id=20, edge_px=870, nodes=174_304),
+)

@@ -1,0 +1,90 @@
+"""Token-count management for point clouds.
+
+The LNT consumes a fixed token count per batch.  Netlists range from 10³
+to 10⁶ elements, so clouds are *downsampled* when too large — grid pooling
+preserves spatial coverage, farthest-point sampling preserves extremes —
+and zero-padded when too small.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["sample_random", "sample_grid", "farthest_point_sample", "fit_to_count"]
+
+
+def sample_random(points: np.ndarray, count: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Uniform subsample without replacement (baseline strategy)."""
+    if count >= points.shape[0]:
+        return points.copy()
+    chosen = rng.choice(points.shape[0], size=count, replace=False)
+    return points[np.sort(chosen)]
+
+
+def sample_grid(points: np.ndarray, count: int) -> np.ndarray:
+    """Deterministic voxel-style pooling on (x1, y1).
+
+    Buckets points into a ⌈√count⌉² spatial grid and averages each bucket,
+    preserving spatial coverage for very large clouds.  Output has at most
+    ``count`` points (one per occupied cell, densest cells first).
+    """
+    n = points.shape[0]
+    if count >= n:
+        return points.copy()
+    side = int(np.ceil(np.sqrt(count)))
+    cell_x = np.clip((points[:, 0] * side).astype(int), 0, side - 1)
+    cell_y = np.clip((points[:, 1] * side).astype(int), 0, side - 1)
+    cell_id = cell_y * side + cell_x
+
+    order = np.argsort(cell_id, kind="stable")
+    sorted_points = points[order]
+    sorted_ids = cell_id[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    groups = np.split(sorted_points, boundaries)
+    means = np.array([group.mean(axis=0) for group in groups])
+    sizes = np.array([len(group) for group in groups])
+    densest_first = np.argsort(-sizes, kind="stable")
+    return means[densest_first[:count]]
+
+
+def farthest_point_sample(points: np.ndarray, count: int,
+                          seed: int = 0) -> np.ndarray:
+    """Classic FPS on the (x1, y1) coordinates (O(N·count))."""
+    n = points.shape[0]
+    if count >= n:
+        return points.copy()
+    coordinates = points[:, :2]
+    chosen = np.empty(count, dtype=int)
+    chosen[0] = np.random.default_rng(seed).integers(n)
+    distances = np.linalg.norm(coordinates - coordinates[chosen[0]], axis=1)
+    for i in range(1, count):
+        chosen[i] = int(np.argmax(distances))
+        new_distance = np.linalg.norm(coordinates - coordinates[chosen[i]], axis=1)
+        np.minimum(distances, new_distance, out=distances)
+    return points[np.sort(chosen)]
+
+
+def fit_to_count(points: np.ndarray, count: int,
+                 rng: Optional[np.random.Generator] = None,
+                 strategy: str = "grid") -> np.ndarray:
+    """Return exactly ``count`` rows: downsample or zero-pad as needed."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    n, features = points.shape
+    if n > count:
+        if strategy == "grid":
+            points = sample_grid(points, count)
+        elif strategy == "fps":
+            points = farthest_point_sample(points, count)
+        elif strategy == "random":
+            points = sample_random(points, count, rng or np.random.default_rng(0))
+        else:
+            raise ValueError(f"unknown sampling strategy {strategy!r}")
+        n = points.shape[0]
+    if n < count:
+        padding = np.zeros((count - n, features), dtype=points.dtype)
+        points = np.concatenate([points, padding], axis=0)
+    return points

@@ -1,0 +1,38 @@
+"""Point-cloud transforms: augmentation-safe perturbations.
+
+The paper argues crops/flips break circuit semantics (§IV-C) and uses
+small Gaussian noise instead; the same applies to the netlist modality,
+where only value/coordinate jitter below the grid pitch is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jitter_points", "shuffle_points"]
+
+
+def jitter_points(points: np.ndarray, rng: np.random.Generator,
+                  coord_sigma: float = 0.0, value_sigma: float = 1e-3) -> np.ndarray:
+    """Add Gaussian noise to coordinates and/or values (columns 0-4).
+
+    Zero-padded rows (all-zero type one-hot) are left untouched so padding
+    stays recognisable.
+    """
+    if coord_sigma < 0 or value_sigma < 0:
+        raise ValueError("noise sigmas must be non-negative")
+    output = points.copy()
+    real = points[:, 5:8].sum(axis=1) > 0.5  # rows with a type bit set
+    if coord_sigma > 0:
+        output[real, 0:4] += rng.normal(0.0, coord_sigma, size=(int(real.sum()), 4))
+        np.clip(output[:, 0:4], 0.0, 1.0, out=output[:, 0:4])
+    if value_sigma > 0:
+        output[real, 4] += rng.normal(0.0, value_sigma, size=int(real.sum()))
+    return output
+
+
+def shuffle_points(points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Permute rows: attention is order-invariant, training shouldn't rely
+    on the writer's R-then-I-then-V ordering."""
+    permutation = rng.permutation(points.shape[0])
+    return points[permutation]

@@ -1,0 +1,17 @@
+"""``repro.solver`` — golden static IR-drop solver (ground-truth substrate).
+
+Sparse nodal assembly, exact solve, physical audits, and rasterisation of
+node voltages into the contest's per-pixel IR map format.
+"""
+
+from repro.solver.checks import SolutionAudit, audit_solution
+from repro.solver.conductance import NodalSystem, assemble_system
+from repro.solver.rasterize import node_positions_px, rasterize_ir_map
+from repro.solver.static import IRSolveResult, solve_static_ir
+
+__all__ = [
+    "assemble_system", "NodalSystem",
+    "solve_static_ir", "IRSolveResult",
+    "rasterize_ir_map", "node_positions_px",
+    "audit_solution", "SolutionAudit",
+]

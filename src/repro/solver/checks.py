@@ -1,0 +1,84 @@
+"""Physical sanity checks on solver output (used by tests and benches).
+
+A correct static solve satisfies Kirchhoff's laws exactly (up to float
+round-off).  These checks catch assembly bugs: sign errors flip current
+conservation; missing stamps break the KCL residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.conductance import assemble_system
+from repro.solver.static import IRSolveResult
+from repro.spice.netlist import Netlist
+from repro.spice.nodes import GROUND
+
+__all__ = ["SolutionAudit", "audit_solution"]
+
+
+@dataclass(frozen=True)
+class SolutionAudit:
+    """Residuals and physical invariants of a solve."""
+
+    kcl_residual: float
+    supply_current: float
+    demand_current: float
+    min_drop: float
+    max_drop: float
+
+    @property
+    def current_balance_error(self) -> float:
+        """Relative mismatch between injected and drawn current."""
+        if self.demand_current == 0:
+            return abs(self.supply_current)
+        return abs(self.supply_current - self.demand_current) / self.demand_current
+
+    def assert_physical(self, kcl_tol: float = 1e-6, balance_tol: float = 1e-6,
+                        drop_tol: float = 1e-9) -> None:
+        if self.kcl_residual > kcl_tol:
+            raise AssertionError(f"KCL residual too large: {self.kcl_residual:.3e}")
+        if self.current_balance_error > balance_tol:
+            raise AssertionError(
+                f"current not conserved: supplied {self.supply_current:.6e} vs "
+                f"drawn {self.demand_current:.6e}"
+            )
+        if self.min_drop < -drop_tol:
+            raise AssertionError(f"negative IR drop {self.min_drop:.3e} (non-physical)")
+
+
+def audit_solution(netlist: Netlist, result: IRSolveResult) -> SolutionAudit:
+    """Compute residuals / invariants for a solved netlist."""
+    system = assemble_system(netlist)
+    voltages = np.array([result.node_voltages[name] for name in system.free_nodes])
+    if system.size:
+        residual = float(np.abs(system.matrix @ voltages - system.rhs).max())
+    else:
+        residual = 0.0
+
+    # current delivered by supplies = sum over resistors incident to supply
+    # nodes of (V_supply - V_other) / R (ground plays no role for VDD nets)
+    supply_current = 0.0
+    for resistor in netlist.resistors:
+        for supply_node, other in ((resistor.node_a, resistor.node_b),
+                                   (resistor.node_b, resistor.node_a)):
+            if supply_node in system.fixed_voltages and other not in system.fixed_voltages:
+                v_supply = system.fixed_voltages[supply_node]
+                v_other = 0.0 if other == GROUND else result.node_voltages[other]
+                supply_current += (v_supply - v_other) / resistor.resistance
+
+    demand_current = sum(
+        source.value for source in netlist.current_sources
+        if source.node not in system.fixed_voltages
+    )
+
+    drops = list(result.ir_drop().values())
+    return SolutionAudit(
+        kcl_residual=residual,
+        supply_current=supply_current,
+        demand_current=demand_current,
+        min_drop=float(min(drops)) if drops else 0.0,
+        max_drop=float(max(drops)) if drops else 0.0,
+    )

@@ -1,0 +1,101 @@
+"""Sparse conductance-matrix (nodal analysis) assembly.
+
+The static PDN problem is linear: ``G v = J`` where ``G`` stamps every
+resistor, ``J`` the current sources, and voltage-source nodes are Dirichlet
+boundary conditions eliminated from the system (standard reduction — the
+supplies are ideal, so their node voltages are known a priori).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+from scipy import sparse
+
+from repro.spice.netlist import Netlist
+from repro.spice.nodes import GROUND
+
+__all__ = ["NodalSystem", "assemble_system"]
+
+
+@dataclass
+class NodalSystem:
+    """The reduced linear system for the unknown (non-supply) nodes.
+
+    ``matrix @ v_free = rhs`` with ``v_free`` the voltages of ``free_nodes``.
+    ``fixed_voltages`` maps supply-node names to their Dirichlet values.
+    """
+
+    matrix: sparse.csr_matrix
+    rhs: np.ndarray
+    free_nodes: List[str]
+    fixed_voltages: Dict[str, float]
+    ground_name: str = GROUND
+
+    @property
+    def size(self) -> int:
+        return len(self.free_nodes)
+
+
+def assemble_system(netlist: Netlist) -> NodalSystem:
+    """Stamp the netlist into a reduced sparse nodal system."""
+    fixed: Dict[str, float] = {}
+    for source in netlist.voltage_sources:
+        if source.node in fixed and fixed[source.node] != source.value:
+            raise ValueError(
+                f"node {source.node} pinned to conflicting voltages "
+                f"{fixed[source.node]} and {source.value}"
+            )
+        fixed[source.node] = source.value
+
+    all_nodes = netlist.node_index()
+    free_nodes = [name for name in all_nodes if name not in fixed]
+    free_index = {name: i for i, name in enumerate(free_nodes)}
+    n = len(free_nodes)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    values: List[float] = []
+    rhs = np.zeros(n)
+
+    def stamp_diagonal(index: int, conductance: float) -> None:
+        rows.append(index)
+        cols.append(index)
+        values.append(conductance)
+
+    for resistor in netlist.resistors:
+        conductance = 1.0 / resistor.resistance
+        a, b = resistor.node_a, resistor.node_b
+        a_free = free_index.get(a)
+        b_free = free_index.get(b)
+        a_ground = a == GROUND
+        b_ground = b == GROUND
+
+        if a_free is not None:
+            stamp_diagonal(a_free, conductance)
+        if b_free is not None:
+            stamp_diagonal(b_free, conductance)
+
+        if a_free is not None and b_free is not None:
+            rows.extend((a_free, b_free))
+            cols.extend((b_free, a_free))
+            values.extend((-conductance, -conductance))
+        elif a_free is not None and not b_ground:
+            rhs[a_free] += conductance * fixed[b]   # b is a supply node
+        elif b_free is not None and not a_ground:
+            rhs[b_free] += conductance * fixed[a]   # a is a supply node
+        # resistor to ground only contributes its diagonal stamp
+
+    for source in netlist.current_sources:
+        index = free_index.get(source.node)
+        if index is not None:
+            rhs[index] -= source.value
+        # current sources on supply nodes are absorbed by the ideal source
+
+    matrix = sparse.csr_matrix(
+        sparse.coo_matrix((values, (rows, cols)), shape=(n, n))
+    )
+    return NodalSystem(matrix=matrix, rhs=rhs, free_nodes=free_nodes,
+                       fixed_voltages=fixed)

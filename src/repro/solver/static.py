@@ -1,0 +1,74 @@
+"""Golden static IR-drop solve (the ground-truth generator).
+
+This is the "commercial tool" role in the paper's Fig. 1: solve the PDN's
+nodal equations exactly and report per-node voltages / IR drops.  The
+learning task is to approximate this solver's output orders of magnitude
+faster.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+from scipy.sparse.linalg import MatrixRankWarning, spsolve
+
+from repro.solver.conductance import NodalSystem, assemble_system
+from repro.spice.netlist import Netlist
+
+__all__ = ["IRSolveResult", "solve_static_ir"]
+
+
+@dataclass
+class IRSolveResult:
+    """Outcome of a golden solve."""
+
+    node_voltages: Dict[str, float]
+    vdd: float
+    solve_seconds: float
+
+    def ir_drop(self) -> Dict[str, float]:
+        """Per-node static IR drop (VDD minus node voltage)."""
+        return {name: self.vdd - v for name, v in self.node_voltages.items()}
+
+    @property
+    def worst_drop(self) -> float:
+        return float(max(self.ir_drop().values())) if self.node_voltages else 0.0
+
+
+def solve_static_ir(netlist: Netlist) -> IRSolveResult:
+    """Solve the PDN and return every node voltage.
+
+    Raises
+    ------
+    ValueError
+        If the netlist has no supplies or the reduced system is singular
+        (floating subgrids — run ``prune_unreachable`` first).
+    """
+    vdd = netlist.supply_voltage()
+    system = assemble_system(netlist)
+
+    start = time.perf_counter()
+    if system.size:
+        with warnings.catch_warnings():
+            # singularity is detected below via non-finite entries
+            warnings.simplefilter("ignore", MatrixRankWarning)
+            solution = spsolve(system.matrix, system.rhs)
+        solution = np.atleast_1d(solution)
+        if not np.isfinite(solution).all():
+            raise ValueError(
+                f"singular PDN system for {netlist.name!r} "
+                "(floating nodes without a path to a supply?)"
+            )
+    else:
+        solution = np.empty(0)
+    elapsed = time.perf_counter() - start
+
+    voltages: Dict[str, float] = {}
+    for name, value in zip(system.free_nodes, solution):
+        voltages[name] = float(value)
+    voltages.update(system.fixed_voltages)
+    return IRSolveResult(node_voltages=voltages, vdd=vdd, solve_seconds=elapsed)

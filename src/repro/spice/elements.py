@@ -1,0 +1,69 @@
+"""Circuit elements of a PDN SPICE netlist.
+
+The contest PDN model (paper §II-A) contains exactly three element types:
+resistors forming the grid and vias, current sources modelling instance
+power draw, and voltage sources modelling the power pads / bumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Resistor", "CurrentSource", "VoltageSource"]
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Resistive segment between two PDN nodes (wire segment or via)."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self):
+        if not self.name or self.name[0].lower() != "r":
+            raise ValueError(f"resistor name must start with R, got {self.name!r}")
+        if self.resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {self.resistance}")
+        if self.node_a == self.node_b:
+            raise ValueError(f"resistor {self.name} shorts node {self.node_a} to itself")
+
+    def spice_line(self) -> str:
+        return f"{self.name} {self.node_a} {self.node_b} {self.resistance:.6g}"
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Constant current drawn from ``node`` to ground (an instance's load)."""
+
+    name: str
+    node: str
+    value: float
+
+    def __post_init__(self):
+        if not self.name or self.name[0].lower() != "i":
+            raise ValueError(f"current source name must start with I, got {self.name!r}")
+        if self.value < 0:
+            raise ValueError(f"current draw must be non-negative, got {self.value}")
+
+    def spice_line(self) -> str:
+        return f"{self.name} {self.node} 0 {self.value:.6g}"
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Ideal supply fixing ``node`` at ``value`` volts (a power pad/bump)."""
+
+    name: str
+    node: str
+    value: float
+
+    def __post_init__(self):
+        if not self.name or self.name[0].lower() != "v":
+            raise ValueError(f"voltage source name must start with V, got {self.name!r}")
+        if self.value <= 0:
+            raise ValueError(f"supply voltage must be positive, got {self.value}")
+
+    def spice_line(self) -> str:
+        return f"{self.name} {self.node} 0 {self.value:.6g}"

@@ -1,0 +1,73 @@
+"""PDN node naming in the ICCAD-2023 contest convention.
+
+Nodes are named ``n{net}_m{layer}_{x}_{y}`` where ``x``/``y`` are database
+units (nanometres) and ``layer`` indexes the metal layer (m1 is the standard
+cell rail layer, higher numbers are upper metals).  The special name ``0``
+denotes ground.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["NodeName", "GROUND", "parse_node", "format_node", "DBU_PER_UM"]
+
+GROUND = "0"
+
+DBU_PER_UM = 1000
+"""Database units per micrometre (contest netlists use nanometre coords)."""
+
+_NODE_RE = re.compile(r"^n(?P<net>\d+)_m(?P<layer>\d+)_(?P<x>\d+)_(?P<y>\d+)$")
+
+
+@dataclass(frozen=True, order=True)
+class NodeName:
+    """Structured PDN node identity.
+
+    Attributes
+    ----------
+    net:
+        Power net index (the contest uses a single VDD net, net 1).
+    layer:
+        Metal layer number (1 = lowest / cell rails).
+    x, y:
+        Coordinates in database units (nm).
+    """
+
+    net: int
+    layer: int
+    x: int
+    y: int
+
+    @property
+    def x_um(self) -> float:
+        return self.x / DBU_PER_UM
+
+    @property
+    def y_um(self) -> float:
+        return self.y / DBU_PER_UM
+
+    def __str__(self) -> str:
+        return format_node(self)
+
+
+def parse_node(name: str) -> Optional[NodeName]:
+    """Parse a node string; returns ``None`` for ground or foreign names."""
+    if name == GROUND:
+        return None
+    match = _NODE_RE.match(name)
+    if match is None:
+        raise ValueError(f"unrecognised node name {name!r}")
+    return NodeName(
+        net=int(match.group("net")),
+        layer=int(match.group("layer")),
+        x=int(match.group("x")),
+        y=int(match.group("y")),
+    )
+
+
+def format_node(node: NodeName) -> str:
+    """Render a :class:`NodeName` back to the contest string form."""
+    return f"n{node.net}_m{node.layer}_{node.x}_{node.y}"

@@ -1,0 +1,111 @@
+"""SPICE netlist parsing (ICCAD-2023 contest dialect).
+
+The contest files are flat: one element per line, ``R/I/V`` prefixes,
+``*`` comments, optional ``.end``.  Values may use plain/scientific
+notation or the common SPICE engineering suffixes (``k``, ``meg``, ``m``,
+``u``, ``n``, ``p``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.spice.netlist import Netlist
+
+__all__ = ["parse_spice", "parse_spice_file", "parse_value", "SpiceParseError"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+
+class SpiceParseError(ValueError):
+    """Raised on malformed netlist content, with line context."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE numeric token (supports engineering suffixes)."""
+    text = token.strip().lower()
+    for suffix in ("meg",):  # multi-character suffixes first
+        if text.endswith(suffix):
+            return float(text[: -len(suffix)]) * _SUFFIXES[suffix]
+    if text and text[-1] in _SUFFIXES:
+        return float(text[:-1]) * _SUFFIXES[text[-1]]
+    return float(text)
+
+
+def parse_spice(text: str, name: str = "pdn") -> Netlist:
+    """Build a :class:`~repro.spice.netlist.Netlist` from SPICE source."""
+    netlist = Netlist(name=name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.startswith("."):
+            directive = line.split()[0].lower()
+            if directive in (".end", ".ends", ".op"):
+                continue
+            raise SpiceParseError(f"unsupported directive {directive}", line_number, raw)
+        tokens = line.split()
+        kind = tokens[0][0].lower()
+        if kind == "r":
+            _parse_resistor(netlist, tokens, line_number, raw)
+        elif kind == "i":
+            _parse_source(netlist, tokens, line_number, raw, current=True)
+        elif kind == "v":
+            _parse_source(netlist, tokens, line_number, raw, current=False)
+        else:
+            raise SpiceParseError(f"unknown element type {tokens[0]!r}", line_number, raw)
+    return netlist
+
+
+def _parse_resistor(netlist: Netlist, tokens, line_number: int, raw: str) -> None:
+    if len(tokens) != 4:
+        raise SpiceParseError("resistor needs 4 tokens", line_number, raw)
+    try:
+        value = parse_value(tokens[3])
+        netlist.add_resistor(tokens[1], tokens[2], value, name=tokens[0])
+    except ValueError as exc:
+        raise SpiceParseError(str(exc), line_number, raw) from exc
+
+
+def _parse_source(netlist: Netlist, tokens, line_number: int, raw: str,
+                  current: bool) -> None:
+    if len(tokens) != 4:
+        raise SpiceParseError("source needs 4 tokens", line_number, raw)
+    node_a, node_b = tokens[1], tokens[2]
+    if node_b != "0":
+        if node_a == "0":
+            node_a = node_b  # normalise "X 0 n ..." ordering
+        else:
+            raise SpiceParseError("sources must reference ground", line_number, raw)
+    try:
+        value = parse_value(tokens[3])
+        if current:
+            netlist.add_current_source(node_a, value, name=tokens[0])
+        else:
+            netlist.add_voltage_source(node_a, value, name=tokens[0])
+    except ValueError as exc:
+        raise SpiceParseError(str(exc), line_number, raw) from exc
+
+
+def parse_spice_file(path: str) -> Netlist:
+    """Parse a netlist file; the netlist is named after the file stem."""
+    with open(path) as handle:
+        text = handle.read()
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return parse_spice(text, name=stem)

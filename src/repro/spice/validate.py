@@ -1,0 +1,108 @@
+"""Netlist validation: structural lint before solving or encoding.
+
+A netlist that passes validation is guaranteed to be solvable by the
+static-IR solver: every node has a resistive path to some voltage source,
+element names are unique, and all values are physical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import networkx as nx
+
+from repro.spice.netlist import Netlist
+from repro.spice.nodes import GROUND, parse_node
+
+__all__ = ["ValidationReport", "validate_netlist"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_netlist`."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ValueError("netlist validation failed:\n" + "\n".join(self.errors))
+
+
+def validate_netlist(netlist: Netlist) -> ValidationReport:
+    """Run all structural checks and collect errors/warnings."""
+    report = ValidationReport()
+    _check_nonempty(netlist, report)
+    if report.errors:
+        return report
+    _check_unique_names(netlist, report)
+    _check_node_names(netlist, report)
+    _check_sources_on_resistive_nodes(netlist, report)
+    _check_connectivity(netlist, report)
+    return report
+
+
+def _check_nonempty(netlist: Netlist, report: ValidationReport) -> None:
+    if not netlist.resistors:
+        report.errors.append("netlist has no resistors")
+    if not netlist.voltage_sources:
+        report.errors.append("netlist has no voltage sources (unsolvable)")
+    if not netlist.current_sources:
+        report.warnings.append("netlist has no current sources (IR drop will be zero)")
+
+
+def _check_unique_names(netlist: Netlist, report: ValidationReport) -> None:
+    seen = set()
+    for element in (*netlist.resistors, *netlist.current_sources,
+                    *netlist.voltage_sources):
+        if element.name in seen:
+            report.errors.append(f"duplicate element name {element.name!r}")
+        seen.add(element.name)
+
+
+def _check_node_names(netlist: Netlist, report: ValidationReport) -> None:
+    for name in netlist.node_index():
+        try:
+            parse_node(name)
+        except ValueError:
+            report.errors.append(f"malformed node name {name!r}")
+
+
+def _check_sources_on_resistive_nodes(netlist: Netlist, report: ValidationReport) -> None:
+    resistive_nodes = set()
+    for r in netlist.resistors:
+        resistive_nodes.add(r.node_a)
+        resistive_nodes.add(r.node_b)
+    for source in netlist.current_sources:
+        if source.node not in resistive_nodes:
+            report.errors.append(
+                f"current source {source.name} on floating node {source.node}"
+            )
+    for source in netlist.voltage_sources:
+        if source.node not in resistive_nodes:
+            report.warnings.append(
+                f"voltage source {source.name} on isolated node {source.node}"
+            )
+
+
+def _check_connectivity(netlist: Netlist, report: ValidationReport) -> None:
+    graph = nx.Graph()
+    for r in netlist.resistors:
+        graph.add_edge(r.node_a, r.node_b)
+    supplied = {v.node for v in netlist.voltage_sources}
+    reachable = set()
+    for node in supplied:
+        if node in graph:
+            reachable |= nx.node_connected_component(graph, node)
+    floating = [n for n in graph.nodes if n not in reachable and n != GROUND]
+    if floating:
+        sample = ", ".join(sorted(floating)[:5])
+        report.errors.append(
+            f"{len(floating)} node(s) have no resistive path to any supply "
+            f"(e.g. {sample})"
+        )

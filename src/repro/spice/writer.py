@@ -1,0 +1,39 @@
+"""SPICE netlist emission (round-trips with :mod:`repro.spice.parser`)."""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.spice.netlist import Netlist
+
+__all__ = ["write_spice", "write_spice_file"]
+
+
+def write_spice(netlist: Netlist, header: bool = True) -> str:
+    """Render a netlist as SPICE text in contest ordering (R, I, V)."""
+    lines: List[str] = []
+    if header:
+        stats = netlist.statistics() if netlist.resistors else None
+        lines.append(f"* netlist: {netlist.name}")
+        if stats is not None:
+            lines.append(
+                f"* nodes={stats.num_nodes} resistors={stats.num_resistors} "
+                f"isrc={stats.num_current_sources} vsrc={stats.num_voltage_sources}"
+            )
+    for resistor in netlist.resistors:
+        lines.append(resistor.spice_line())
+    for source in netlist.current_sources:
+        lines.append(source.spice_line())
+    for source in netlist.voltage_sources:
+        lines.append(source.spice_line())
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice_file(netlist: Netlist, path: str, header: bool = True) -> None:
+    """Write a netlist to ``path`` (directories created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(write_spice(netlist, header=header))

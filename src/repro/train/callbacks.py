@@ -1,0 +1,74 @@
+"""Trainer callbacks: logging, early stopping, checkpointing."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.module import Module
+from repro.nn.serialization import save_module
+
+__all__ = ["Callback", "EpochLogger", "EarlyStopping", "CheckpointSaver"]
+
+
+class Callback:
+    """Hook interface; return ``True`` from ``on_epoch_end`` to stop."""
+
+    def on_stage_start(self, stage: str) -> None:  # pragma: no cover - default
+        pass
+
+    def on_epoch_end(self, epoch: int, loss: float, model: Module) -> bool:
+        return False
+
+
+class EpochLogger(Callback):
+    """Print one line per epoch (quiet tests leave this out)."""
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._stage = ""
+
+    def on_stage_start(self, stage: str) -> None:
+        self._stage = stage
+
+    def on_epoch_end(self, epoch: int, loss: float, model: Module) -> bool:
+        print(f"{self.prefix}[{self._stage}] epoch {epoch}: loss {loss:.6f}")
+        return False
+
+
+class EarlyStopping(Callback):
+    """Stop when the loss fails to improve by ``min_delta`` for
+    ``patience`` consecutive epochs."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.stale = 0
+
+    def on_stage_start(self, stage: str) -> None:
+        self.best = None
+        self.stale = 0
+
+    def on_epoch_end(self, epoch: int, loss: float, model: Module) -> bool:
+        if self.best is None or loss < self.best - self.min_delta:
+            self.best = loss
+            self.stale = 0
+            return False
+        self.stale += 1
+        return self.stale >= self.patience
+
+
+class CheckpointSaver(Callback):
+    """Persist the best-loss model to ``path`` after each improvement."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.best: Optional[float] = None
+
+    def on_epoch_end(self, epoch: int, loss: float, model: Module) -> bool:
+        if self.best is None or loss < self.best:
+            self.best = loss
+            save_module(model, self.path)
+        return False

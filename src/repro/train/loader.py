@@ -1,0 +1,153 @@
+"""Batch assembly: cases → fixed-size tensors.
+
+Implements the paper's batching rules (§III-A): every sample is padded or
+scaled to one spatial edge, per-channel normalised with training-set
+statistics, and optionally perturbed with Gaussian noise (§IV-C).  The
+netlist modality is sampled/padded to a fixed token count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.data.augment import PAPER_SIGMA_RANGE, gaussian_noise
+from repro.data.case import CaseBundle
+from repro.features.normalize import ChannelNormalizer, TargetScaler
+from repro.features.resize import SpatialAdjustment, adjust_stack
+from repro.features.stack import ALL_CHANNELS
+from repro.pointcloud.sampling import fit_to_count
+
+__all__ = ["PreparedCase", "Batch", "CasePreprocessor", "BatchLoader"]
+
+
+@dataclass
+class PreparedCase:
+    """One case after spatial/statistical preprocessing."""
+
+    features: np.ndarray              # (C, E, E), normalised
+    points: np.ndarray                # (N, F)
+    target: np.ndarray                # (1, E, E), scaled to ~[0, 1]
+    mask: np.ndarray                  # (1, E, E) valid-pixel mask
+    adjustment: SpatialAdjustment
+    case: CaseBundle
+
+
+@dataclass
+class Batch:
+    """A training minibatch (tensors ready for the model)."""
+
+    features: nn.Tensor               # (B, C, E, E)
+    points: Optional[nn.Tensor]       # (B, N, F) or None
+    targets: nn.Tensor                # (B, 1, E, E)
+    masks: np.ndarray                 # (B, 1, E, E)
+    prepared: List[PreparedCase]
+
+    def __len__(self) -> int:
+        return len(self.prepared)
+
+
+class CasePreprocessor:
+    """Fit-once, apply-everywhere preprocessing for a model's inputs."""
+
+    def __init__(
+        self,
+        channels: Sequence[str] = ALL_CHANNELS,
+        target_edge: int = 64,
+        num_points: int = 256,
+        point_strategy: str = "grid",
+        use_pointcloud: bool = True,
+    ):
+        if target_edge < 4:
+            raise ValueError(f"target edge too small: {target_edge}")
+        self.channels = tuple(channels)
+        self.target_edge = target_edge
+        self.num_points = num_points
+        self.point_strategy = point_strategy
+        self.use_pointcloud = use_pointcloud
+        self.normalizer = ChannelNormalizer(mode="minmax")
+        self.target_scaler = TargetScaler()
+        self._fitted = False
+
+    def fit(self, cases: Sequence[CaseBundle]) -> "CasePreprocessor":
+        """Fit normalisation statistics on (raw, unadjusted) training maps."""
+        self.normalizer.fit([case.features(self.channels) for case in cases])
+        self.target_scaler.fit([case.ir_map for case in cases])
+        self._fitted = True
+        return self
+
+    def prepare(self, case: CaseBundle,
+                augment_rng: Optional[np.random.Generator] = None,
+                sigma_range: Tuple[float, float] = PAPER_SIGMA_RANGE) -> PreparedCase:
+        """Normalise → pad/scale → (optionally) noise one case."""
+        if not self._fitted:
+            raise RuntimeError("preprocessor used before fit()")
+        raw = case.features(self.channels)
+        normalised = self.normalizer.transform(raw)
+        adjusted, adjustment = adjust_stack(normalised, self.target_edge)
+        if augment_rng is not None:
+            adjusted = gaussian_noise(adjusted, augment_rng, sigma_range)
+
+        target_raw = self.target_scaler.transform(case.ir_map)[None]
+        target, _ = adjust_stack(target_raw, self.target_edge, preserve_peaks=True)
+        mask = adjustment.mask()[None].astype(float)
+
+        if self.use_pointcloud:
+            points = fit_to_count(
+                case.point_cloud().points, self.num_points,
+                strategy=self.point_strategy,
+            )
+        else:
+            points = np.zeros((0, 0))
+        return PreparedCase(
+            features=adjusted, points=points, target=target, mask=mask,
+            adjustment=adjustment, case=case,
+        )
+
+    def collate(self, prepared: Sequence[PreparedCase]) -> Batch:
+        """Stack prepared cases into batched tensors."""
+        features = nn.Tensor(np.stack([p.features for p in prepared]))
+        targets = nn.Tensor(np.stack([p.target for p in prepared]))
+        masks = np.stack([p.mask for p in prepared])
+        points = None
+        if self.use_pointcloud:
+            points = nn.Tensor(np.stack([p.points for p in prepared]))
+        return Batch(features=features, points=points, targets=targets,
+                     masks=masks, prepared=list(prepared))
+
+
+class BatchLoader:
+    """Shuffling minibatch iterator over a dataset of cases."""
+
+    def __init__(self, cases: Sequence[CaseBundle],
+                 preprocessor: CasePreprocessor,
+                 batch_size: int = 4,
+                 augment: bool = True,
+                 sigma_range: Tuple[float, float] = PAPER_SIGMA_RANGE,
+                 seed: int = 0):
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        self.cases = list(cases)
+        self.preprocessor = preprocessor
+        self.batch_size = batch_size
+        self.augment = augment
+        self.sigma_range = sigma_range
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.cases) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = self._rng.permutation(len(self.cases))
+        for start in range(0, len(order), self.batch_size):
+            chunk = [self.cases[i] for i in order[start:start + self.batch_size]]
+            rng = self._rng if self.augment else None
+            prepared = [
+                self.preprocessor.prepare(case, augment_rng=rng,
+                                          sigma_range=self.sigma_range)
+                for case in chunk
+            ]
+            yield self.preprocessor.collate(prepared)

@@ -1,0 +1,18 @@
+"""Deterministic seeding across the framework."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.nn import init as nn_init
+
+__all__ = ["seed_everything"]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed weight init and Python's RNG; return a fresh numpy generator."""
+    nn_init.seed(seed)
+    random.seed(seed)
+    return np.random.default_rng(seed)

@@ -1,0 +1,11 @@
+"""``repro.viz`` — PGM/PPM/ASCII heatmap rendering (matplotlib-free)."""
+
+from repro.viz.ascii import render_ascii
+from repro.viz.compare import side_by_side_ascii, write_comparison_ppm
+from repro.viz.heatmap import heat_colormap, normalize_to_bytes, write_pgm, write_ppm
+
+__all__ = [
+    "render_ascii",
+    "side_by_side_ascii", "write_comparison_ppm",
+    "write_pgm", "write_ppm", "normalize_to_bytes", "heat_colormap",
+]

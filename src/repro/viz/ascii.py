@@ -1,0 +1,38 @@
+"""Terminal heatmap rendering for quick inspection in examples/benches."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["render_ascii"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def render_ascii(array: np.ndarray, width: int = 48,
+                 value_range: Optional[Tuple[float, float]] = None) -> str:
+    """Render a 2-D map as an ASCII block (rows of intensity glyphs).
+
+    The map is resampled to ``width`` columns (aspect ratio ≈ preserved,
+    terminal glyphs being ~2:1 tall) and mapped onto a 10-step ramp.
+    """
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D map, got shape {array.shape}")
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    rows, cols = array.shape
+    height = max(2, int(round(width * rows / cols / 2.0)))
+    row_index = np.linspace(0, rows - 1, height).astype(int)
+    col_index = np.linspace(0, cols - 1, width).astype(int)
+    sampled = array[np.ix_(row_index, col_index)]
+
+    low, high = value_range if value_range else (float(array.min()), float(array.max()))
+    span = high - low
+    if span <= 0:
+        normalized = np.zeros_like(sampled)
+    else:
+        normalized = np.clip((sampled - low) / span, 0.0, 1.0)
+    indices = (normalized * (len(_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_RAMP[i] for i in line) for line in indices)

@@ -1,0 +1,68 @@
+"""Side-by-side map comparisons (Fig. 5 layout)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.viz.ascii import render_ascii
+from repro.viz.heatmap import heat_colormap, normalize_to_bytes
+
+__all__ = ["side_by_side_ascii", "write_comparison_ppm"]
+
+
+def side_by_side_ascii(maps: Dict[str, np.ndarray], width: int = 32,
+                       shared_range: bool = True) -> str:
+    """Render labelled maps next to each other as one ASCII panel."""
+    if not maps:
+        raise ValueError("no maps to compare")
+    value_range: Optional[Tuple[float, float]] = None
+    if shared_range:
+        low = min(float(m.min()) for m in maps.values())
+        high = max(float(m.max()) for m in maps.values())
+        value_range = (low, high)
+
+    blocks = {}
+    for label, array in maps.items():
+        blocks[label] = render_ascii(array, width=width,
+                                     value_range=value_range).splitlines()
+    height = max(len(lines) for lines in blocks.values())
+    gap = "   "
+    header = gap.join(label.center(width)[:width] for label in blocks)
+    rows = []
+    for i in range(height):
+        row = gap.join(
+            (lines[i] if i < len(lines) else " " * width).ljust(width)
+            for lines in blocks.values()
+        )
+        rows.append(row)
+    return header + "\n" + "\n".join(rows)
+
+
+def write_comparison_ppm(maps: Dict[str, np.ndarray], path: str,
+                         separator_px: int = 4) -> None:
+    """Write all maps as one horizontal colour strip (shared scale)."""
+    if not maps:
+        raise ValueError("no maps to compare")
+    shapes = {m.shape for m in maps.values()}
+    if len(shapes) != 1:
+        raise ValueError(f"maps must share a shape, got {sorted(shapes)}")
+    low = min(float(m.min()) for m in maps.values())
+    high = max(float(m.max()) for m in maps.values())
+
+    panels = []
+    separator = np.full((next(iter(shapes))[0], separator_px, 3), 255, dtype=np.uint8)
+    for index, array in enumerate(maps.values()):
+        if index:
+            panels.append(separator)
+        panels.append(heat_colormap(normalize_to_bytes(array, (low, high))))
+    strip = np.concatenate(panels, axis=1)
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    height, width, _ = strip.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode())
+        handle.write(strip.tobytes())

@@ -1,0 +1,65 @@
+"""Heatmap image export (PGM/PPM — no matplotlib in the offline env).
+
+Fig. 5 of the paper shows IR-drop maps side by side; these writers produce
+portable grey/colour images any viewer opens, plus the raw arrays for
+downstream plotting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["normalize_to_bytes", "write_pgm", "write_ppm", "heat_colormap"]
+
+
+def normalize_to_bytes(array: np.ndarray,
+                       value_range: Optional[Tuple[float, float]] = None) -> np.ndarray:
+    """Map an array to uint8 [0, 255] (shared range for fair comparisons)."""
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D map, got shape {array.shape}")
+    low, high = value_range if value_range else (float(array.min()), float(array.max()))
+    span = high - low
+    if span <= 0:
+        return np.zeros(array.shape, dtype=np.uint8)
+    scaled = np.clip((array - low) / span, 0.0, 1.0)
+    return (scaled * 255).astype(np.uint8)
+
+
+def heat_colormap(byte_map: np.ndarray) -> np.ndarray:
+    """Black→blue→red→yellow→white heat palette; (H, W) → (H, W, 3)."""
+    t = byte_map.astype(float) / 255.0
+    r = np.clip(3.0 * t - 0.75, 0.0, 1.0)
+    g = np.clip(3.0 * t - 1.75, 0.0, 1.0)
+    b = np.clip(np.where(t < 0.4, 2.5 * t, 1.8 - 2.5 * t), 0.0, 1.0)
+    rgb = np.stack([r, g, b], axis=-1)
+    return (rgb * 255).astype(np.uint8)
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+
+
+def write_pgm(array: np.ndarray, path: str,
+              value_range: Optional[Tuple[float, float]] = None) -> None:
+    """Write a greyscale binary PGM (P5)."""
+    data = normalize_to_bytes(array, value_range)
+    _ensure_parent(path)
+    height, width = data.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode())
+        handle.write(data.tobytes())
+
+
+def write_ppm(array: np.ndarray, path: str,
+              value_range: Optional[Tuple[float, float]] = None) -> None:
+    """Write a heat-coloured binary PPM (P6)."""
+    rgb = heat_colormap(normalize_to_bytes(array, value_range))
+    _ensure_parent(path)
+    height, width, _ = rgb.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode())
+        handle.write(rgb.tobytes())

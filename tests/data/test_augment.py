@@ -1,0 +1,48 @@
+"""Tests for Gaussian-noise augmentation (paper §IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import PAPER_SIGMA_RANGE, gaussian_noise
+
+
+def test_noise_changes_values():
+    rng = np.random.default_rng(0)
+    stack = np.ones((2, 8, 8))
+    out = gaussian_noise(stack, rng, sigma_range=(1e-3, 1e-3))
+    assert out.shape == stack.shape
+    assert not np.array_equal(out, stack)
+
+
+def test_noise_magnitude_bounded_by_sigma():
+    rng = np.random.default_rng(1)
+    stack = np.zeros((1, 64, 64))
+    out = gaussian_noise(stack, rng, sigma_range=(1e-3, 1e-3))
+    assert out.std() == pytest.approx(1e-3, rel=0.1)
+
+
+def test_zero_sigma_returns_copy():
+    rng = np.random.default_rng(2)
+    stack = np.ones((1, 4, 4))
+    out = gaussian_noise(stack, rng, sigma_range=(0.0, 0.0))
+    assert np.array_equal(out, stack)
+    assert out is not stack
+
+
+def test_original_untouched():
+    rng = np.random.default_rng(3)
+    stack = np.ones((1, 4, 4))
+    gaussian_noise(stack, rng)
+    assert np.array_equal(stack, np.ones((1, 4, 4)))
+
+
+def test_paper_sigma_range_constant():
+    assert PAPER_SIGMA_RANGE == (0.0, 1e-3)
+
+
+def test_invalid_range():
+    rng = np.random.default_rng(4)
+    with pytest.raises(ValueError):
+        gaussian_noise(np.ones((1, 2, 2)), rng, sigma_range=(-1.0, 1.0))
+    with pytest.raises(ValueError):
+        gaussian_noise(np.ones((1, 2, 2)), rng, sigma_range=(1.0, 0.5))

@@ -1,0 +1,104 @@
+"""Tests for suite synthesis and contest-format disk IO."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_case, write_case
+from repro.data.synthesis import (
+    BenchmarkSuite,
+    SynthesisSettings,
+    make_suite,
+    synthesize_case,
+)
+from repro.metrics.regression import mae
+from repro.pdn.templates import HIDDEN_CASE_SPECS
+from repro.spice.validate import validate_netlist
+
+
+class TestSynthesizeCase:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            synthesize_case("bogus", seed=0)
+
+    def test_case_complete_and_valid(self):
+        case = synthesize_case("real", seed=5)
+        assert validate_netlist(case.netlist).ok
+        assert set(case.feature_maps)
+        assert case.ir_map.shape == case.shape
+        assert case.ir_map.max() > 0
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_case("fake", seed=42)
+        b = synthesize_case("fake", seed=42)
+        assert a.num_nodes == b.num_nodes
+        assert np.array_equal(a.ir_map, b.ir_map)
+
+    def test_seeds_differ(self):
+        a = synthesize_case("fake", seed=1)
+        b = synthesize_case("fake", seed=2)
+        assert a.ir_map.shape != b.ir_map.shape or not np.array_equal(a.ir_map,
+                                                                      b.ir_map)
+
+    def test_worst_drop_in_configured_band(self):
+        settings = SynthesisSettings(worst_drop_frac_range=(0.05, 0.06))
+        case = synthesize_case("fake", seed=3, settings=settings)
+        frac = case.ir_map.max() / settings.vdd
+        # raster smoothing shaves the nodal worst drop
+        assert 0.02 < frac <= 0.0601
+
+    def test_invalid_settings(self):
+        with pytest.raises(ValueError):
+            SynthesisSettings(hidden_scale=0.0)
+        with pytest.raises(ValueError):
+            SynthesisSettings(worst_drop_frac_range=(0.5, 0.2))
+
+
+class TestMakeSuite:
+    @pytest.fixture(scope="class")
+    def suite(self) -> BenchmarkSuite:
+        return make_suite(num_fake=2, num_real=1, num_hidden=3, seed=9)
+
+    def test_counts(self, suite):
+        assert len(suite.fake_cases) == 2
+        assert len(suite.real_cases) == 1
+        assert len(suite.hidden_cases) == 3
+        assert len(suite.training_cases) == 3
+        assert len(suite.all_cases()) == 6
+
+    def test_hidden_names_follow_table2(self, suite):
+        expected = [f"testcase{spec.case_id}" for spec in HIDDEN_CASE_SPECS[:3]]
+        assert [c.name for c in suite.hidden_cases] == expected
+
+    def test_hidden_shapes_scale_with_table2(self, suite):
+        # testcase9 (835 px full scale) must be larger than testcase7 (601)
+        by_name = {c.name: c for c in suite.hidden_cases}
+        assert by_name["testcase9"].shape[0] > by_name["testcase7"].shape[0]
+
+    def test_all_kinds_labelled(self, suite):
+        assert {c.kind for c in suite.fake_cases} == {"fake"}
+        assert {c.kind for c in suite.real_cases} == {"real"}
+        assert {c.kind for c in suite.hidden_cases} == {"hidden"}
+
+
+class TestCaseIO:
+    def test_roundtrip(self, tmp_path):
+        case = synthesize_case("fake", seed=77)
+        directory = str(tmp_path / "case0")
+        write_case(case, directory)
+        loaded = read_case(directory)
+
+        assert loaded.name == case.name
+        assert loaded.kind == case.kind
+        assert loaded.num_nodes == case.num_nodes
+        assert mae(loaded.ir_map, case.ir_map) < 1e-9
+        for channel, raster in case.feature_maps.items():
+            assert np.allclose(loaded.feature_maps[channel], raster,
+                               rtol=1e-6, atol=1e-12), channel
+        assert loaded.metadata["vdd"] == case.metadata["vdd"]
+
+    def test_loaded_case_is_solvable(self, tmp_path):
+        case = synthesize_case("real", seed=78)
+        directory = str(tmp_path / "case1")
+        write_case(case, directory)
+        loaded = read_case(directory)
+        assert validate_netlist(loaded.netlist).ok

@@ -1,0 +1,80 @@
+"""Tests for effective distance and PDN density maps."""
+
+import numpy as np
+import pytest
+
+from repro.features.density import pdn_density_map
+from repro.features.distance import effective_distance_map, pad_positions_px
+from repro.pdn.generator import PDNConfig, generate_pdn
+from repro.pdn.templates import small_stack
+from repro.spice.netlist import Netlist
+
+
+def single_pad_netlist():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_8000_0", 1.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    return net
+
+
+class TestEffectiveDistance:
+    def test_increases_away_from_pad(self):
+        raster = effective_distance_map(single_pad_netlist(), shape=(1, 9))
+        assert raster[0, 0] < raster[0, 4] < raster[0, 8]
+
+    def test_single_pad_matches_euclidean(self):
+        raster = effective_distance_map(single_pad_netlist(), shape=(1, 9))
+        assert np.isclose(raster[0, 5], 5.0)
+
+    def test_two_pads_harmonic_combination(self):
+        # pads at both ends of a 9-pixel row; centre pixel distance 4 to each
+        raster = effective_distance_map(
+            single_pad_netlist(), shape=(1, 9),
+            positions=[(0.0, 0.0), (0.0, 8.0)],
+        )
+        assert np.isclose(raster[0, 4], 1.0 / (1.0 / 4 + 1.0 / 4))
+
+    def test_pad_pixel_clamped(self):
+        raster = effective_distance_map(single_pad_netlist(), shape=(1, 9))
+        assert raster[0, 0] > 0.0
+
+    def test_requires_pads(self):
+        net = Netlist()
+        net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+        with pytest.raises(ValueError):
+            pad_positions_px(net)
+
+
+class TestPDNDensity:
+    def _case(self, pitch_scale=1.0, seed=0):
+        return generate_pdn(PDNConfig(
+            stack=small_stack(pitch_scale), width_um=32, height_um=32,
+            tap_spacing_um=4.0, num_pads=2, seed=seed,
+        ))
+
+    def test_denser_grid_higher_density(self):
+        dense = pdn_density_map(self._case(pitch_scale=1.0).netlist)
+        sparse = pdn_density_map(self._case(pitch_scale=2.0).netlist)
+        assert dense.mean() > sparse.mean()
+
+    def test_spacing_mode_inverts(self):
+        net = self._case().netlist
+        density = pdn_density_map(net, as_spacing=False)
+        spacing = pdn_density_map(net, as_spacing=True)
+        # where density is higher, spacing must be lower
+        flat_d, flat_s = density.reshape(-1), spacing.reshape(-1)
+        order = np.argsort(flat_d)
+        assert flat_s[order[-1]] <= flat_s[order[0]]
+
+    def test_even_window_bumped(self):
+        net = self._case().netlist
+        odd = pdn_density_map(net, window_px=15)
+        even = pdn_density_map(net, window_px=14)
+        assert np.allclose(odd, even)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            pdn_density_map(self._case().netlist, window_px=0)
+
+    def test_nonnegative(self):
+        assert (pdn_density_map(self._case().netlist) >= 0).all()

@@ -1,0 +1,83 @@
+"""Tests for circuit feature-map extraction."""
+
+import numpy as np
+import pytest
+
+from repro.features.maps import (
+    current_map,
+    current_source_map,
+    map_shape_for,
+    resistance_map,
+    voltage_source_map,
+)
+from repro.spice.netlist import Netlist
+
+
+def netlist_with_sources():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_4000_0", 2.0)
+    net.add_resistor("n1_m1_4000_0", "n1_m4_4000_0", 0.5)  # via
+    net.add_current_source("n1_m1_0_0", 0.01)
+    net.add_current_source("n1_m1_4000_0", 0.03)
+    net.add_voltage_source("n1_m4_4000_0", 1.2)
+    return net
+
+
+def test_map_shape_from_bbox():
+    assert map_shape_for(netlist_with_sources()) == (1, 5)
+
+
+def test_current_source_map_scatter():
+    raster = current_source_map(netlist_with_sources())
+    assert raster.shape == (1, 5)
+    assert np.isclose(raster[0, 0], 0.01)
+    assert np.isclose(raster[0, 4], 0.03)
+    assert np.isclose(raster.sum(), 0.04)
+
+
+def test_current_source_map_accumulates_same_pixel():
+    net = netlist_with_sources()
+    net.add_current_source("n1_m1_0_0", 0.02, name="I9")
+    raster = current_source_map(net)
+    assert np.isclose(raster[0, 0], 0.03)
+
+
+def test_current_map_uses_power_density():
+    net = netlist_with_sources()
+    density = np.array([[1.0, 0.0, 0.0, 0.0, 3.0]])
+    raster = current_map(net, shape=(1, 5), power_density=density)
+    # total current 0.04 distributed 1:3
+    assert np.isclose(raster[0, 0], 0.01)
+    assert np.isclose(raster[0, 4], 0.03)
+
+
+def test_current_map_falls_back_to_sources():
+    net = netlist_with_sources()
+    assert np.allclose(current_map(net), current_source_map(net))
+
+
+def test_current_map_rejects_wrong_density_shape():
+    with pytest.raises(ValueError):
+        current_map(netlist_with_sources(), shape=(1, 5),
+                    power_density=np.ones((2, 2)))
+
+
+def test_voltage_source_map():
+    raster = voltage_source_map(netlist_with_sources())
+    assert np.isclose(raster[0, 4], 1.2)
+    assert np.isclose(raster.sum(), 1.2)
+
+
+def test_resistance_map_spreads_wire():
+    raster = resistance_map(netlist_with_sources())
+    # 2-ohm wire spanning pixels 0..4 -> 0.4 per pixel; via adds 0.5 at (0,4)
+    assert np.isclose(raster[0, 2], 0.4)
+    assert np.isclose(raster[0, 4], 0.4 + 0.5)
+    assert np.isclose(raster.sum(), 2.5)
+
+
+def test_resistance_map_total_preserved():
+    net = netlist_with_sources()
+    raster = resistance_map(net)
+    total = sum(r.resistance for r in net.resistors)
+    assert np.isclose(raster.sum(), total)

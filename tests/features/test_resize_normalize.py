@@ -1,0 +1,155 @@
+"""Tests for spatial adjustment (pad/scale rule) and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.features.normalize import ChannelNormalizer, TargetScaler
+from repro.features.resize import SpatialAdjustment, adjust_stack, restore_map
+
+
+RNG = np.random.default_rng(5)
+
+
+class TestAdjustStack:
+    def test_small_input_padded_losslessly(self):
+        stack = RNG.normal(size=(2, 10, 14))
+        out, adj = adjust_stack(stack, 16)
+        assert out.shape == (2, 16, 16)
+        assert adj.scale == 1.0
+        assert np.allclose(out[:, :10, :14], stack)
+        assert np.allclose(out[:, 10:, :], 0.0)
+
+    def test_large_input_scaled(self):
+        stack = RNG.normal(size=(1, 32, 32))
+        out, adj = adjust_stack(stack, 16)
+        assert out.shape == (1, 16, 16)
+        assert adj.scale == 0.5
+
+    def test_non_square_scaled_by_long_edge(self):
+        stack = RNG.normal(size=(1, 32, 16))
+        out, adj = adjust_stack(stack, 16)
+        assert adj.scale == 0.5
+        # short edge shrinks to 8, remainder is padding
+        assert np.allclose(out[:, :, 8:], 0.0)
+
+    def test_exact_size_untouched(self):
+        stack = RNG.normal(size=(3, 16, 16))
+        out, adj = adjust_stack(stack, 16)
+        assert np.allclose(out, stack)
+        assert adj.scale == 1.0
+
+    def test_mask_marks_valid_region(self):
+        stack = RNG.normal(size=(1, 8, 12))
+        _, adj = adjust_stack(stack, 16)
+        mask = adj.mask()
+        assert mask[:8, :12].all()
+        assert not mask[8:, :].any()
+        assert not mask[:, 12:].any()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            adjust_stack(RNG.normal(size=(4, 4)), 8)
+        with pytest.raises(ValueError):
+            adjust_stack(RNG.normal(size=(1, 4, 4)), 0)
+
+    def test_preserve_peaks_keeps_maximum(self):
+        # worst case: a single-pixel delta (real golden maps are smoothed,
+        # so their peaks span several pixels and survive far better)
+        stack = np.zeros((1, 64, 64))
+        stack[0, 31, 31] = 10.0
+        plain, _ = adjust_stack(stack, 16)
+        peaky, _ = adjust_stack(stack, 16, preserve_peaks=True)
+        assert plain.max() < 0.05 * stack.max()   # bilinear alone kills it
+        assert peaky.max() > 3.0 * max(plain.max(), 1e-12)
+
+    def test_preserve_peaks_on_smooth_hotspot(self):
+        # realistic case: a smoothed basin keeps ~all of its magnitude
+        from scipy import ndimage
+
+        stack = np.zeros((1, 64, 64))
+        stack[0, 31, 31] = 10.0
+        stack = ndimage.gaussian_filter(stack, sigma=(0, 2.5, 2.5))
+        peaky, _ = adjust_stack(stack, 16, preserve_peaks=True)
+        assert peaky.max() >= 0.8 * stack.max()
+
+
+class TestRestoreMap:
+    def test_roundtrip_padded(self):
+        stack = RNG.normal(size=(1, 10, 12))
+        out, adj = adjust_stack(stack, 16)
+        restored = restore_map(out[0], adj)
+        assert restored.shape == (10, 12)
+        assert np.allclose(restored, stack[0])
+
+    def test_roundtrip_scaled_preserves_smooth_content(self):
+        yy, xx = np.mgrid[0:32, 0:32] / 32.0
+        smooth = np.sin(2 * np.pi * yy) * np.cos(2 * np.pi * xx)
+        out, adj = adjust_stack(smooth[None], 16)
+        restored = restore_map(out[0], adj)
+        assert restored.shape == (32, 32)
+        assert np.abs(restored - smooth).mean() < 0.08
+
+    def test_shape_validated(self):
+        adj = SpatialAdjustment(original_shape=(8, 8), target_edge=16, scale=1.0)
+        with pytest.raises(ValueError):
+            restore_map(np.zeros((8, 8)), adj)
+
+
+class TestChannelNormalizer:
+    def test_minmax_maps_to_unit_interval(self):
+        stacks = [RNG.uniform(5, 9, size=(2, 6, 6)) for _ in range(3)]
+        norm = ChannelNormalizer(mode="minmax").fit(stacks)
+        out = norm.transform(stacks[0])
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zscore_standardizes(self):
+        stacks = [RNG.normal(3, 2, size=(1, 32, 32)) for _ in range(4)]
+        norm = ChannelNormalizer(mode="zscore").fit(stacks)
+        merged = np.concatenate([norm.transform(s).reshape(-1) for s in stacks])
+        assert np.isclose(merged.mean(), 0.0, atol=1e-8)
+        assert np.isclose(merged.std(), 1.0, atol=1e-8)
+
+    def test_channels_normalized_independently(self):
+        stack = np.stack([np.full((4, 4), 100.0), np.full((4, 4), 0.5)])
+        noise = stack + RNG.normal(0, 0.1, size=stack.shape)
+        norm = ChannelNormalizer().fit([noise])
+        out = norm.transform(noise)
+        assert abs(out[0].mean() - out[1].mean()) < 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ChannelNormalizer().transform(RNG.normal(size=(1, 2, 2)))
+
+    def test_channel_count_mismatch(self):
+        norm = ChannelNormalizer().fit([RNG.normal(size=(2, 3, 3))])
+        with pytest.raises(ValueError):
+            norm.transform(RNG.normal(size=(3, 3, 3)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            ChannelNormalizer().fit([])
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ChannelNormalizer(mode="bogus").fit([RNG.normal(size=(1, 2, 2))])
+
+
+class TestTargetScaler:
+    def test_scales_by_train_max(self):
+        scaler = TargetScaler().fit([np.array([[0.1]]), np.array([[0.05]])])
+        assert np.isclose(scaler.transform(np.array([[0.1]])), 1.0)
+
+    def test_inverse_roundtrip(self):
+        scaler = TargetScaler().fit([RNG.uniform(0, 0.2, size=(4, 4))])
+        target = RNG.uniform(0, 0.2, size=(4, 4))
+        assert np.allclose(scaler.inverse(scaler.transform(target)), target)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TargetScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            TargetScaler().inverse(np.zeros((2, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            TargetScaler().fit([])

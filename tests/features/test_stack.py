@@ -1,0 +1,51 @@
+"""Tests for feature stack assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis import synthesize_case
+from repro.features.stack import (
+    ALL_CHANNELS,
+    CONTEST_CHANNELS,
+    EXTRA_CHANNELS,
+    compute_feature_maps,
+    stack_channels,
+)
+
+
+def test_channel_sets_disjoint_and_complete():
+    assert set(CONTEST_CHANNELS).isdisjoint(EXTRA_CHANNELS)
+    assert ALL_CHANNELS == CONTEST_CHANNELS + EXTRA_CHANNELS
+    assert len(ALL_CHANNELS) == 6
+
+
+def test_compute_feature_maps_covers_all_channels():
+    case = synthesize_case("fake", seed=1)
+    maps = compute_feature_maps(case.netlist, shape=case.shape)
+    assert set(maps) == set(ALL_CHANNELS)
+    for name, raster in maps.items():
+        assert raster.shape == case.shape, name
+        assert np.isfinite(raster).all(), name
+
+
+def test_stack_channels_order_and_shape():
+    case = synthesize_case("fake", seed=2)
+    stacked = stack_channels(case.feature_maps, CONTEST_CHANNELS)
+    assert stacked.shape == (3, *case.shape)
+    assert np.array_equal(stacked[0], case.feature_maps["current"])
+    assert np.array_equal(stacked[1], case.feature_maps["eff_dist"])
+
+
+def test_stack_channels_missing_raises():
+    case = synthesize_case("fake", seed=2)
+    maps = dict(case.feature_maps)
+    del maps["resistance"]
+    with pytest.raises(KeyError):
+        stack_channels(maps, ALL_CHANNELS)
+
+
+def test_stack_channels_shape_mismatch_raises():
+    maps = {"current": np.zeros((4, 4)), "eff_dist": np.zeros((5, 5)),
+            "pdn_density": np.zeros((4, 4))}
+    with pytest.raises(ValueError):
+        stack_channels(maps, CONTEST_CHANNELS)

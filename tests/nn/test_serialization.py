@@ -1,0 +1,47 @@
+"""Tests for npz checkpointing."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.serialization import load_module, load_state, save_module, save_state
+
+
+def build_model():
+    nn.init.seed(42)
+    return nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.Conv2d(4, 1, 1),
+    )
+
+
+def test_state_roundtrip(tmp_path):
+    path = str(tmp_path / "state.npz")
+    state = {"a": np.arange(4.0), "b.c": np.eye(2)}
+    save_state(state, path)
+    loaded = load_state(path)
+    assert set(loaded) == {"a", "b.c"}
+    assert np.allclose(loaded["b.c"], np.eye(2))
+
+
+def test_module_roundtrip_preserves_outputs(tmp_path):
+    path = str(tmp_path / "model.npz")
+    model = build_model()
+    x = nn.Tensor(np.random.default_rng(0).normal(size=(2, 2, 6, 6)))
+    model(x)  # update running stats so buffers are non-trivial
+    model.eval()
+    expected = model(x).data
+
+    save_module(model, path)
+    nn.init.seed(7)  # different init for the fresh model
+    fresh = build_model()
+    load_module(fresh, path)
+    fresh.eval()
+    assert np.allclose(fresh(x).data, expected)
+
+
+def test_save_creates_directories(tmp_path):
+    nested = str(tmp_path / "a" / "b" / "model.npz")
+    save_module(build_model(), nested)
+    assert load_state(nested)

@@ -1,0 +1,105 @@
+"""Tests for full PDN case generation."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.generator import PDNConfig, generate_pdn, prune_unreachable
+from repro.pdn.grid import Blockage
+from repro.pdn.templates import small_stack
+from repro.spice.netlist import Netlist
+from repro.spice.validate import validate_netlist
+
+
+def config(**kwargs):
+    defaults = dict(stack=small_stack(), width_um=32.0, height_um=32.0,
+                    tap_spacing_um=4.0, num_pads=2, seed=0)
+    defaults.update(kwargs)
+    return PDNConfig(**defaults)
+
+
+class TestPDNConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_pads": 0}, {"pad_placement": "bogus"},
+        {"current_fraction": 0.0}, {"current_fraction": 1.5},
+        {"total_current": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            config(**kwargs)
+
+    def test_map_shape(self):
+        assert config(width_um=47.4, height_um=32.0).map_shape == (33, 48)
+
+
+class TestGeneratePDN:
+    def test_case_is_valid_and_solvable(self):
+        case = generate_pdn(config())
+        report = validate_netlist(case.netlist)
+        assert report.ok, report.errors
+
+    def test_total_current_budget(self):
+        case = generate_pdn(config(total_current=0.123))
+        total = sum(s.value for s in case.netlist.current_sources)
+        assert np.isclose(total, 0.123, rtol=1e-9)
+
+    def test_pads_on_top_layer_with_vdd(self):
+        case = generate_pdn(config(vdd=1.05))
+        assert len(case.netlist.voltage_sources) == 2
+        for source in case.netlist.voltage_sources:
+            assert source.value == 1.05
+            assert "_m7_" in source.node
+
+    def test_current_sources_on_bottom_layer(self):
+        case = generate_pdn(config())
+        assert case.netlist.current_sources
+        for source in case.netlist.current_sources:
+            assert "_m1_" in source.node
+
+    def test_current_fraction_controls_count(self):
+        sparse = generate_pdn(config(current_fraction=0.2))
+        dense = generate_pdn(config(current_fraction=0.9))
+        assert (len(dense.netlist.current_sources)
+                > len(sparse.netlist.current_sources))
+
+    def test_pad_placements_differ(self):
+        names = {}
+        for placement in ("grid", "random", "edge"):
+            case = generate_pdn(config(pad_placement=placement, num_pads=4))
+            names[placement] = tuple(case.pad_nodes)
+        assert len(set(names.values())) > 1
+
+    def test_deterministic(self):
+        a = generate_pdn(config(seed=5))
+        b = generate_pdn(config(seed=5))
+        assert a.pad_nodes == b.pad_nodes
+        assert np.array_equal(a.power_density, b.power_density)
+
+    def test_power_density_shape(self):
+        case = generate_pdn(config())
+        assert case.power_density.shape == config().map_shape
+
+    def test_heavy_blockage_still_solvable(self):
+        heavy = config(blockages=(Blockage(4, 4, 28, 28),), seed=2)
+        case = generate_pdn(heavy)
+        report = validate_netlist(case.netlist)
+        assert report.ok, report.errors
+
+
+class TestPruneUnreachable:
+    def test_noop_on_connected(self):
+        net = Netlist()
+        net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+        net.add_voltage_source("n1_m1_0_0", 1.0)
+        assert prune_unreachable(net) == 0
+
+    def test_removes_islands(self):
+        net = Netlist()
+        net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+        net.add_voltage_source("n1_m1_0_0", 1.0)
+        net.add_resistor("n1_m1_90000_0", "n1_m1_91000_0", 1.0)  # island
+        net.add_current_source("n1_m1_90000_0", 0.1)
+        removed = prune_unreachable(net)
+        assert removed == 2
+        assert len(net.resistors) == 1
+        assert not net.current_sources
+        assert validate_netlist(net).ok

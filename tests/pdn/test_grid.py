@@ -1,0 +1,119 @@
+"""Tests for PDN grid construction."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.grid import Blockage, GridConfig, build_grid, layer_nodes
+from repro.pdn.templates import small_stack
+from repro.spice.validate import validate_netlist
+
+
+def config(**kwargs):
+    defaults = dict(stack=small_stack(), width_um=32.0, height_um=32.0,
+                    rail_tap_spacing_um=4.0)
+    defaults.update(kwargs)
+    return GridConfig(**defaults)
+
+
+class TestBlockage:
+    def test_contains(self):
+        b = Blockage(0, 0, 10, 10)
+        assert b.contains(5, 5)
+        assert not b.contains(11, 5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Blockage(5, 5, 5, 10)
+
+
+class TestGridConfig:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            config(width_um=0.0)
+
+    def test_invalid_via_dropout(self):
+        with pytest.raises(ValueError):
+            config(via_dropout=1.0)
+
+
+class TestBuildGrid:
+    def test_produces_all_layers(self):
+        net = build_grid(config())
+        assert net.layers() == (1, 4, 7)
+
+    def test_has_vias_between_adjacent_layers(self):
+        net = build_grid(config())
+        vias = net.vias()
+        assert vias
+        pairs = {tuple(sorted((v_layer_a, v_layer_b)))
+                 for v_layer_a, v_layer_b in
+                 ((_layer_of(v.node_a), _layer_of(v.node_b)) for v in vias)}
+        assert (1, 4) in pairs
+        assert (4, 7) in pairs
+        assert (1, 7) not in pairs  # vias only connect adjacent layers
+
+    def test_wire_resistance_proportional_to_length(self):
+        net = build_grid(config())
+        # m1 horizontal rails with taps every 4um and ohms_per_um=2.0
+        m1_wires = [r for r in net.resistors
+                    if _layer_of(r.node_a) == 1 and _layer_of(r.node_b) == 1]
+        assert m1_wires
+        for wire in m1_wires:
+            assert wire.resistance == pytest.approx(2.0 * _length_um(wire), rel=1e-6)
+
+    def test_grid_is_connected(self):
+        net = build_grid(config())
+        # attach a supply so the connectivity check has an anchor
+        top = layer_nodes(net, 7)[0]
+        net.add_voltage_source(str(top), 1.0)
+        report = validate_netlist(net)
+        assert report.ok, report.errors
+
+    def test_blockage_removes_bottom_nodes(self):
+        blocked = build_grid(config(blockages=(Blockage(8, 8, 24, 24),)))
+        open_grid = build_grid(config())
+        blocked_m1 = {(n.x, n.y) for n in layer_nodes(blocked, 1)}
+        open_m1 = {(n.x, n.y) for n in layer_nodes(open_grid, 1)}
+        removed = open_m1 - blocked_m1
+        assert removed
+        for x, y in removed:
+            assert 8 <= x / 1000 <= 24 and 8 <= y / 1000 <= 24
+
+    def test_blockage_spares_upper_layers(self):
+        blocked = build_grid(config(blockages=(Blockage(8, 8, 24, 24),),
+                                    blockage_max_layer=1))
+        open_grid = build_grid(config())
+        assert len(layer_nodes(blocked, 7)) == len(layer_nodes(open_grid, 7))
+
+    def test_via_dropout_removes_some_vias(self):
+        full = build_grid(config(seed=1))
+        dropped = build_grid(config(via_dropout=0.5, seed=1))
+        assert len(dropped.vias()) < len(full.vias())
+
+    def test_deterministic_given_seed(self):
+        a = build_grid(config(via_dropout=0.3, seed=7))
+        b = build_grid(config(via_dropout=0.3, seed=7))
+        assert [r.spice_line() for r in a.resistors] == \
+               [r.spice_line() for r in b.resistors]
+
+    def test_tap_spacing_adds_m1_nodes(self):
+        sparse = build_grid(config(rail_tap_spacing_um=None))
+        dense = build_grid(config(rail_tap_spacing_um=2.0))
+        assert len(layer_nodes(dense, 1)) > len(layer_nodes(sparse, 1))
+
+
+def test_layer_nodes_sorted():
+    net = build_grid(config())
+    nodes = layer_nodes(net, 1)
+    keys = [(n.y, n.x) for n in nodes]
+    assert keys == sorted(keys)
+
+
+def _layer_of(name: str) -> int:
+    return int(name.split("_")[1][1:])
+
+
+def _length_um(wire) -> float:
+    ax, ay = (int(t) for t in wire.node_a.split("_")[2:])
+    bx, by = (int(t) for t in wire.node_b.split("_")[2:])
+    return (abs(ax - bx) + abs(ay - by)) / 1000.0

@@ -1,0 +1,68 @@
+"""Tests for metal layer / stack specifications."""
+
+import pytest
+
+from repro.pdn.layers import LayerStack, MetalLayer
+from repro.pdn.templates import contest_stack, small_stack
+
+
+def layer(index=1, direction="h", pitch=4.0, offset=0.0):
+    return MetalLayer(index=index, direction=direction, pitch_um=pitch,
+                      offset_um=offset, ohms_per_um=1.0, via_ohms_up=1.0)
+
+
+class TestMetalLayer:
+    def test_stripe_positions_within_extent(self):
+        stripes = layer(pitch=4.0, offset=1.0).stripe_positions(10.0)
+        assert stripes == [1.0, 5.0, 9.0]
+
+    def test_stripe_positions_include_boundary(self):
+        assert layer(pitch=5.0).stripe_positions(10.0) == [0.0, 5.0, 10.0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"direction": "x"}, {"pitch_um": 0.0}, {"ohms_per_um": 0.0},
+        {"via_ohms_up": -1.0},
+    ])
+    def test_invalid_params(self, kwargs):
+        base = dict(index=1, direction="h", pitch_um=1.0, offset_um=0.0,
+                    ohms_per_um=1.0, via_ohms_up=1.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            MetalLayer(**base)
+
+
+class TestLayerStack:
+    def test_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            LayerStack(layers=(layer(),))
+
+    def test_indices_must_increase(self):
+        with pytest.raises(ValueError):
+            LayerStack(layers=(layer(index=4, direction="h"),
+                               layer(index=1, direction="v")))
+
+    def test_directions_must_alternate(self):
+        with pytest.raises(ValueError):
+            LayerStack(layers=(layer(index=1, direction="h"),
+                               layer(index=2, direction="h")))
+
+    def test_adjacent_pairs(self):
+        stack = small_stack()
+        pairs = stack.adjacent_pairs()
+        assert len(pairs) == 2
+        assert pairs[0][0].index == 1 and pairs[0][1].index == 4
+
+    def test_bottom_top(self):
+        stack = contest_stack()
+        assert stack.bottom.index == 1
+        assert stack.top.index == 9
+        assert len(stack) == 5
+
+    def test_templates_alternate(self):
+        for stack in (small_stack(), contest_stack(), contest_stack(1.3)):
+            directions = [l.direction for l in stack]
+            assert all(a != b for a, b in zip(directions, directions[1:]))
+
+    def test_pitch_scale_applies(self):
+        assert contest_stack(2.0).bottom.pitch_um == \
+               2.0 * contest_stack(1.0).bottom.pitch_um

@@ -1,0 +1,61 @@
+"""Tests for synthetic power-map generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn.power import hotspot_centers, synthetic_power_map
+
+
+def test_map_is_normalized_density():
+    rng = np.random.default_rng(0)
+    field = synthetic_power_map((40, 50), rng)
+    assert field.shape == (40, 50)
+    assert np.isclose(field.sum(), 1.0)
+    assert np.all(field >= 0)
+
+
+def test_hotspots_create_peaks():
+    rng = np.random.default_rng(1)
+    with_spots = synthetic_power_map((64, 64), rng, hotspots=3, background=0.2)
+    rng = np.random.default_rng(1)
+    flat = synthetic_power_map((64, 64), rng, hotspots=0, background=1.0, noise=0.0)
+    assert with_spots.max() > 3.0 * flat.max()
+
+
+def test_pure_background_is_uniform_without_noise():
+    rng = np.random.default_rng(2)
+    field = synthetic_power_map((16, 16), rng, hotspots=0, background=1.0, noise=0.0)
+    assert np.allclose(field, 1.0 / field.size)
+
+
+def test_background_fraction_validated():
+    with pytest.raises(ValueError):
+        synthetic_power_map((8, 8), np.random.default_rng(0), background=1.5)
+
+
+def test_hotspot_centers_respect_margin():
+    centers = hotspot_centers((100, 100), 50, np.random.default_rng(3), margin=0.2)
+    assert centers.shape == (50, 2)
+    assert centers.min() >= 20.0
+    assert centers.max() <= 80.0
+
+
+def test_deterministic_given_generator_state():
+    a = synthetic_power_map((32, 32), np.random.default_rng(9))
+    b = synthetic_power_map((32, 32), np.random.default_rng(9))
+    assert np.array_equal(a, b)
+
+
+@given(st.integers(8, 64), st.integers(8, 64), st.integers(0, 6),
+       st.floats(0.0, 1.0))
+@settings(max_examples=25, deadline=None)
+def test_always_a_distribution(rows, cols, hotspots, background):
+    rng = np.random.default_rng(42)
+    field = synthetic_power_map((rows, cols), rng, hotspots=hotspots,
+                                background=background)
+    assert field.shape == (rows, cols)
+    assert np.isclose(field.sum(), 1.0)
+    assert np.all(field >= 0)
+    assert np.isfinite(field).all()

@@ -1,0 +1,88 @@
+"""Tests for the lossless netlist point-cloud encoding (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud.encode import POINT_FEATURES, encode_netlist
+from repro.spice.netlist import Netlist
+
+
+def sample_netlist():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_8000_0", 2.0)         # wire
+    net.add_resistor("n1_m1_8000_0", "n1_m4_8000_0", 0.5)       # via
+    net.add_current_source("n1_m1_0_0", 0.01)
+    net.add_current_source("n1_m1_8000_0", 0.02)
+    net.add_voltage_source("n1_m4_8000_0", 1.1)
+    return net
+
+
+def test_one_point_per_element():
+    cloud = encode_netlist(sample_netlist())
+    net = sample_netlist()
+    expected = len(net.resistors) + len(net.current_sources) + len(net.voltage_sources)
+    assert cloud.num_points == expected
+    assert cloud.points.shape == (expected, POINT_FEATURES)
+
+
+def test_type_onehots_partition_points():
+    cloud = encode_netlist(sample_netlist())
+    r, i, v = cloud.of_type("R"), cloud.of_type("I"), cloud.of_type("V")
+    assert len(r) == 2 and len(i) == 2 and len(v) == 1
+    onehots = cloud.points[:, 5:8]
+    assert np.allclose(onehots.sum(axis=1), 1.0)
+
+
+def test_coordinates_normalized_to_unit():
+    cloud = encode_netlist(sample_netlist())
+    coords = cloud.points[:, 0:4]
+    assert coords.min() >= 0.0
+    assert coords.max() <= 1.0 + 1e-9
+
+
+def test_via_flag_set_only_for_inter_layer_resistors():
+    cloud = encode_netlist(sample_netlist())
+    vias = cloud.vias()
+    assert len(vias) == 1
+    assert vias[0][5] == 1.0  # it's a resistor
+    # layer1 != layer2 encoded
+    assert vias[0][8] != vias[0][9]
+
+
+def test_sources_have_no_second_endpoint():
+    cloud = encode_netlist(sample_netlist())
+    for row in np.concatenate([cloud.of_type("I"), cloud.of_type("V")]):
+        assert row[2] == 0.0 and row[3] == 0.0
+        assert row[9] == 0.0  # no destination layer
+
+
+def test_voltage_value_normalized_by_vdd():
+    cloud = encode_netlist(sample_netlist())
+    assert np.isclose(cloud.of_type("V")[0][4], 1.0)
+
+
+def test_resistor_values_log_scaled_bounded():
+    cloud = encode_netlist(sample_netlist())
+    values = cloud.of_type("R")[:, 4]
+    assert values.max() <= 1.0 + 1e-9
+    assert values.min() >= 0.0
+
+
+def test_explicit_die_size():
+    cloud = encode_netlist(sample_netlist(), die_size_um=(16.0, 16.0))
+    assert cloud.die_width_um == 16.0
+    # node at x=8um is now at 0.5
+    wire = cloud.of_type("R")[0]
+    assert np.isclose(wire[2], 0.5)
+
+
+def test_invalid_die_size():
+    with pytest.raises(ValueError):
+        encode_netlist(sample_netlist(), die_size_um=(0.0, 10.0))
+
+
+def test_losslessness_every_element_distinct():
+    """No information loss: distinct elements map to distinct points."""
+    cloud = encode_netlist(sample_netlist())
+    unique = np.unique(cloud.points, axis=0)
+    assert unique.shape[0] == cloud.num_points

@@ -1,0 +1,139 @@
+"""Tests for the golden static-IR solver against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.generator import PDNConfig, generate_pdn
+from repro.pdn.templates import small_stack
+from repro.solver.checks import audit_solution
+from repro.solver.conductance import assemble_system
+from repro.solver.static import solve_static_ir
+from repro.spice.netlist import Netlist
+
+
+def test_single_resistor_divider():
+    """V -- R -- node with current source: v = vdd - I*R."""
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 10.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    net.add_current_source("n1_m1_1000_0", 0.01)
+    result = solve_static_ir(net)
+    assert np.isclose(result.node_voltages["n1_m1_1000_0"], 1.0 - 0.1)
+    assert np.isclose(result.ir_drop()["n1_m1_1000_0"], 0.1)
+    assert np.isclose(result.worst_drop, 0.1)
+
+
+def test_series_chain_drop_accumulates():
+    """V - R - a - R - b, load at b: drop(b) = I*(R1+R2)."""
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 5.0)
+    net.add_resistor("n1_m1_1000_0", "n1_m1_2000_0", 5.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    net.add_current_source("n1_m1_2000_0", 0.02)
+    result = solve_static_ir(net)
+    assert np.isclose(result.ir_drop()["n1_m1_1000_0"], 0.1)
+    assert np.isclose(result.ir_drop()["n1_m1_2000_0"], 0.2)
+
+
+def test_parallel_paths_halve_resistance():
+    """Two equal parallel resistors to the load halve the drop."""
+    single = Netlist()
+    single.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 10.0)
+    single.add_voltage_source("n1_m1_0_0", 1.0)
+    single.add_current_source("n1_m1_1000_0", 0.01)
+
+    double = Netlist()
+    double.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 10.0)
+    double.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 10.0, name="Rb")
+    double.add_voltage_source("n1_m1_0_0", 1.0)
+    double.add_current_source("n1_m1_1000_0", 0.01)
+
+    drop_single = solve_static_ir(single).worst_drop
+    drop_double = solve_static_ir(double).worst_drop
+    assert np.isclose(drop_double, drop_single / 2.0)
+
+
+def test_two_supplies_share_current():
+    """Symmetric supplies around a centre load split the current evenly."""
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 4.0)
+    net.add_resistor("n1_m1_1000_0", "n1_m1_2000_0", 4.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    net.add_voltage_source("n1_m1_2000_0", 1.0)
+    net.add_current_source("n1_m1_1000_0", 0.1)
+    result = solve_static_ir(net)
+    # effective resistance = 4 || 4 = 2
+    assert np.isclose(result.ir_drop()["n1_m1_1000_0"], 0.2)
+
+
+def test_superposition_linearity():
+    """Doubling all currents doubles every drop (the rescale trick relies
+    on this)."""
+    def build(scale):
+        net = Netlist()
+        net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 3.0)
+        net.add_resistor("n1_m1_1000_0", "n1_m1_2000_0", 2.0)
+        net.add_voltage_source("n1_m1_0_0", 1.1)
+        net.add_current_source("n1_m1_1000_0", 0.01 * scale)
+        net.add_current_source("n1_m1_2000_0", 0.02 * scale)
+        return net
+
+    base = solve_static_ir(build(1.0)).ir_drop()
+    doubled = solve_static_ir(build(2.0)).ir_drop()
+    for name, drop in base.items():
+        assert np.isclose(doubled[name], 2.0 * drop)
+
+
+def test_no_supply_raises():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+    with pytest.raises(ValueError):
+        solve_static_ir(net)
+
+
+def test_conflicting_supplies_raise():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    net.add_voltage_source("n1_m1_0_0", 1.2, name="V2")
+    with pytest.raises(ValueError):
+        solve_static_ir(net)
+
+
+def test_floating_subgrid_detected():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    net.add_resistor("n1_m1_90000_0", "n1_m1_91000_0", 1.0)  # island
+    with pytest.raises(ValueError):
+        solve_static_ir(net)
+
+
+def test_resistor_to_ground_contributes():
+    """A leak resistor to ground draws extra current (v = vdd*R/(R+Rs))."""
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 5.0)
+    net.add_resistor("n1_m1_1000_0", "0", 5.0, name="Rleak")
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    result = solve_static_ir(net)
+    assert np.isclose(result.node_voltages["n1_m1_1000_0"], 0.5)
+
+
+def test_generated_case_is_physical():
+    # modest current budget so the raw (un-rescaled) case stays physical
+    case = generate_pdn(PDNConfig(stack=small_stack(), width_um=32, height_um=32,
+                                  tap_spacing_um=4.0, num_pads=2, seed=4,
+                                  total_current=0.02))
+    result = solve_static_ir(case.netlist)
+    audit = audit_solution(case.netlist, result)
+    audit.assert_physical()
+    assert 0 < result.worst_drop < result.vdd
+
+
+def test_assemble_system_counts():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    system = assemble_system(net)
+    assert system.size == 1
+    assert system.fixed_voltages == {"n1_m1_0_0": 1.0}

@@ -1,0 +1,56 @@
+"""Tests for SPICE element dataclasses."""
+
+import pytest
+
+from repro.spice.elements import CurrentSource, Resistor, VoltageSource
+
+
+class TestResistor:
+    def test_valid(self):
+        r = Resistor("R1", "n1_m1_0_0", "n1_m1_1000_0", 2.5)
+        assert r.spice_line() == "R1 n1_m1_0_0 n1_m1_1000_0 2.5"
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            Resistor("X1", "a", "b", 1.0)
+
+    def test_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            Resistor("R1", "a", "b", -1.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("R1", "a", "a", 1.0)
+
+
+class TestCurrentSource:
+    def test_valid_line_references_ground(self):
+        i = CurrentSource("I3", "n1_m1_5_5", 0.02)
+        assert i.spice_line().split() == ["I3", "n1_m1_5_5", "0", "0.02"]
+
+    def test_zero_current_allowed(self):
+        assert CurrentSource("I1", "n", 0.0).value == 0.0
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentSource("I1", "n", -0.1)
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            CurrentSource("R1", "n", 0.1)
+
+
+class TestVoltageSource:
+    def test_valid(self):
+        v = VoltageSource("V1", "n1_m9_0_0", 1.1)
+        assert v.spice_line().split() == ["V1", "n1_m9_0_0", "0", "1.1"]
+
+    def test_nonpositive_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            VoltageSource("V1", "n", 0.0)
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            VoltageSource("I1", "n", 1.0)

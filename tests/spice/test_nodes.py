@@ -1,0 +1,46 @@
+"""Tests for node-name parsing/formatting."""
+
+import pytest
+
+from repro.spice.nodes import GROUND, NodeName, format_node, parse_node
+
+
+def test_parse_standard_name():
+    node = parse_node("n1_m4_4200_1400")
+    assert node == NodeName(net=1, layer=4, x=4200, y=1400)
+
+
+def test_parse_ground_returns_none():
+    assert parse_node(GROUND) is None
+
+
+def test_format_roundtrip():
+    node = NodeName(net=2, layer=9, x=123456, y=0)
+    assert parse_node(format_node(node)) == node
+
+
+def test_str_matches_format():
+    node = NodeName(net=1, layer=1, x=10, y=20)
+    assert str(node) == "n1_m1_10_20"
+
+
+def test_um_properties():
+    node = NodeName(net=1, layer=1, x=4200, y=1500)
+    assert node.x_um == 4.2
+    assert node.y_um == 1.5
+
+
+@pytest.mark.parametrize("bad", [
+    "m1_10_20", "n1_m1_10", "n1_m1_10_20_30", "node", "n1_mx_1_2", "",
+    "n1_m1_-5_2",
+])
+def test_malformed_names_raise(bad):
+    with pytest.raises(ValueError):
+        parse_node(bad)
+
+
+def test_ordering_is_stable():
+    a = NodeName(net=1, layer=1, x=0, y=0)
+    b = NodeName(net=1, layer=1, x=0, y=5)
+    c = NodeName(net=1, layer=2, x=0, y=0)
+    assert a < b < c

@@ -1,0 +1,124 @@
+"""Tests for SPICE parsing / writing, incl. property-based round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.netlist import Netlist
+from repro.spice.parser import SpiceParseError, parse_spice, parse_spice_file, parse_value
+from repro.spice.writer import write_spice, write_spice_file
+
+
+EXAMPLE = """\
+* a tiny PDN
+R1 n1_m1_0_0 n1_m1_1000_0 2.0
+R2 n1_m1_1000_0 n1_m4_1000_0 0.5
+I1 n1_m1_0_0 0 0.015
+V1 n1_m4_1000_0 0 1.1
+.end
+"""
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("token,expected", [
+        ("1.5", 1.5), ("2e-3", 2e-3), ("1k", 1e3), ("2.5m", 2.5e-3),
+        ("3u", 3e-6), ("10n", 1e-8), ("1meg", 1e6), ("4p", 4e-12),
+        ("1K", 1e3), ("1MEG", 1e6),
+    ])
+    def test_values(self, token, expected):
+        assert np.isclose(parse_value(token), expected)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+
+class TestParser:
+    def test_parses_example(self):
+        net = parse_spice(EXAMPLE, name="tiny")
+        assert net.name == "tiny"
+        assert len(net.resistors) == 2
+        assert len(net.current_sources) == 1
+        assert len(net.voltage_sources) == 1
+        assert net.num_nodes == 3
+
+    def test_comments_and_blanks_ignored(self):
+        net = parse_spice("* comment\n\nR1 a b 1.0\nV1 a 0 1.0\n")
+        assert len(net.resistors) == 1
+
+    def test_source_node_order_normalised(self):
+        net = parse_spice("R1 a b 1\nI1 0 a 0.5\nV1 a 0 1.0\n")
+        assert net.current_sources[0].node == "a"
+
+    def test_source_must_reference_ground(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("I1 a b 0.5\n")
+
+    def test_wrong_token_count(self):
+        with pytest.raises(SpiceParseError) as info:
+            parse_spice("R1 a b\n")
+        assert "line 1" in str(info.value)
+
+    def test_unknown_element(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("C1 a b 1e-12\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice(".subckt foo\n")
+
+    def test_end_directives_accepted(self):
+        net = parse_spice("R1 a b 1\nV1 a 0 1\n.end\n")
+        assert len(net.resistors) == 1
+
+    def test_line_number_in_error(self):
+        with pytest.raises(SpiceParseError) as info:
+            parse_spice("R1 a b 1.0\nR2 a a 1.0\n")
+        assert info.value.line_number == 2
+
+
+class TestWriter:
+    def test_roundtrip_preserves_everything(self):
+        original = parse_spice(EXAMPLE)
+        again = parse_spice(write_spice(original))
+        assert [r.spice_line() for r in again.resistors] == \
+               [r.spice_line() for r in original.resistors]
+        assert [s.spice_line() for s in again.current_sources] == \
+               [s.spice_line() for s in original.current_sources]
+        assert [s.spice_line() for s in again.voltage_sources] == \
+               [s.spice_line() for s in original.voltage_sources]
+
+    def test_header_contains_stats(self):
+        text = write_spice(parse_spice(EXAMPLE))
+        assert "nodes=3" in text
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sub" / "net.sp")
+        write_spice_file(parse_spice(EXAMPLE, name="x"), path)
+        loaded = parse_spice_file(path)
+        assert loaded.name == "net"
+        assert loaded.num_nodes == 3
+
+
+@given(
+    resistances=st.lists(st.floats(1e-3, 1e3, allow_nan=False), min_size=1,
+                         max_size=20),
+    currents=st.lists(st.floats(1e-6, 1.0, allow_nan=False), min_size=1,
+                      max_size=10),
+    vdd=st.floats(0.5, 5.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(resistances, currents, vdd):
+    """write(parse(x)) == write(parse(write(parse(x)))) for random chains."""
+    net = Netlist("prop")
+    for i, r in enumerate(resistances):
+        net.add_resistor(f"n1_m1_{i}_0", f"n1_m1_{i + 1}_0", r)
+    for i, c in enumerate(currents):
+        net.add_current_source(f"n1_m1_{i}_0", c)
+    net.add_voltage_source(f"n1_m1_{len(resistances)}_0", vdd)
+
+    text = write_spice(net)
+    reparsed = parse_spice(text, name="prop")  # header records the name
+    assert write_spice(reparsed) == text
+    assert reparsed.num_nodes == net.num_nodes

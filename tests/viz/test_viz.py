@@ -1,0 +1,102 @@
+"""Tests for heatmap/ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import render_ascii
+from repro.viz.compare import side_by_side_ascii, write_comparison_ppm
+from repro.viz.heatmap import heat_colormap, normalize_to_bytes, write_pgm, write_ppm
+
+
+def gradient(rows=8, cols=8):
+    return np.linspace(0, 1, rows * cols).reshape(rows, cols)
+
+
+class TestNormalize:
+    def test_full_range(self):
+        data = normalize_to_bytes(gradient())
+        assert data.dtype == np.uint8
+        assert data.min() == 0 and data.max() == 255
+
+    def test_constant_map(self):
+        assert (normalize_to_bytes(np.ones((4, 4))) == 0).all()
+
+    def test_shared_range_clips(self):
+        data = normalize_to_bytes(np.array([[0.0, 2.0]]), value_range=(0.0, 1.0))
+        assert data[0, 1] == 255
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            normalize_to_bytes(np.zeros((2, 2, 2)))
+
+
+class TestColormap:
+    def test_shape_and_monotone_red(self):
+        rgb = heat_colormap(np.arange(256, dtype=np.uint8).reshape(16, 16))
+        assert rgb.shape == (16, 16, 3)
+        reds = rgb[..., 0].astype(int).reshape(-1)
+        assert reds[-1] >= reds[0]
+
+
+class TestImageFiles:
+    def test_pgm_header_and_size(self, tmp_path):
+        path = str(tmp_path / "map.pgm")
+        write_pgm(gradient(4, 6), path)
+        blob = open(path, "rb").read()
+        assert blob.startswith(b"P5\n6 4\n255\n")
+        assert len(blob) == len(b"P5\n6 4\n255\n") + 24
+
+    def test_ppm_header_and_size(self, tmp_path):
+        path = str(tmp_path / "map.ppm")
+        write_ppm(gradient(4, 6), path)
+        blob = open(path, "rb").read()
+        assert blob.startswith(b"P6\n6 4\n255\n")
+        assert len(blob) == len(b"P6\n6 4\n255\n") + 72
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "map.pgm")
+        write_pgm(gradient(), path)
+        assert open(path, "rb").read(2) == b"P5"
+
+
+class TestAscii:
+    def test_dimensions(self):
+        art = render_ascii(gradient(16, 32), width=32)
+        lines = art.splitlines()
+        assert len(lines[0]) == 32
+        assert len(lines) == 8  # 2:1 glyph aspect
+
+    def test_intensity_ordering(self):
+        art = render_ascii(gradient(8, 8), width=8)
+        assert art[0] == " "      # lowest value
+        assert art.splitlines()[-1][-1] == "@"  # highest value
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            render_ascii(np.zeros(4))
+        with pytest.raises(ValueError):
+            render_ascii(gradient(), width=1)
+
+
+class TestComparisons:
+    def test_side_by_side_layout(self):
+        panel = side_by_side_ascii({"a": gradient(), "b": gradient()}, width=10)
+        lines = panel.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert all(len(line) >= 20 for line in lines[1:])
+
+    def test_side_by_side_empty_raises(self):
+        with pytest.raises(ValueError):
+            side_by_side_ascii({})
+
+    def test_comparison_ppm(self, tmp_path):
+        path = str(tmp_path / "cmp.ppm")
+        write_comparison_ppm({"a": gradient(4, 4), "b": gradient(4, 4)}, path,
+                             separator_px=2)
+        blob = open(path, "rb").read()
+        assert blob.startswith(b"P6\n10 4\n255\n")  # 4 + 2 + 4 wide
+
+    def test_comparison_shape_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_comparison_ppm({"a": gradient(4, 4), "b": gradient(5, 5)},
+                                 str(tmp_path / "x.ppm"))
