@@ -17,8 +17,9 @@ without re-solving.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -26,13 +27,15 @@ from repro.data.case import CaseBundle
 from repro.features.stack import compute_feature_maps
 from repro.pdn.generator import PDNCase, PDNConfig, generate_pdn
 from repro.pdn.grid import Blockage
-from repro.pdn.layers import LayerStack
 from repro.pdn.templates import HIDDEN_CASE_SPECS, contest_stack
+from repro.solver.factorized import FactorizedPDN
 from repro.solver.rasterize import rasterize_ir_map
-from repro.solver.static import solve_static_ir
 from repro.spice.elements import CurrentSource
 
-__all__ = ["SynthesisSettings", "synthesize_case", "make_suite", "BenchmarkSuite"]
+__all__ = [
+    "SynthesisSettings", "synthesize_case", "make_suite", "BenchmarkSuite",
+    "CaseSpec", "suite_case_specs",
+]
 
 
 @dataclass
@@ -174,7 +177,7 @@ def _solve_and_rescale(pdn_case: PDNCase, target_worst_frac: float,
                        smooth_sigma: float = 1.5) -> np.ndarray:
     """Solve once, then linearly rescale currents to the target worst drop."""
     netlist = pdn_case.netlist
-    result = solve_static_ir(netlist)
+    result = FactorizedPDN(netlist).solve()
     worst = result.worst_drop
     if worst <= 0:
         raise ValueError(f"case {netlist.name!r} has zero IR drop; cannot rescale")
@@ -194,39 +197,83 @@ def _solve_and_rescale(pdn_case: PDNCase, target_worst_frac: float,
                             smooth_sigma=smooth_sigma)
 
 
+@dataclass(frozen=True)
+class CaseSpec:
+    """Everything needed to synthesize one case, fixed before any work runs.
+
+    Specs are derived in the parent process from a single
+    :class:`numpy.random.SeedSequence`, so the suite is bit-reproducible no
+    matter how the specs are later scheduled across workers.
+    """
+
+    kind: str
+    seed: int
+    name: Optional[str] = None
+    edge_um: Optional[float] = None
+
+
+def suite_case_specs(
+    num_fake: int,
+    num_real: int,
+    num_hidden: int,
+    seed: int,
+    settings: SynthesisSettings,
+) -> List[CaseSpec]:
+    """Deterministic per-case specs (fake, then real, then hidden order)."""
+    children = np.random.SeedSequence(seed).spawn(num_fake + num_real + num_hidden)
+    seeds = [int(child.generate_state(1)[0]) for child in children]
+
+    specs = [CaseSpec("fake", seeds[i]) for i in range(num_fake)]
+    specs.extend(
+        CaseSpec("real", seeds[num_fake + i]) for i in range(num_real)
+    )
+    for index in range(num_hidden):
+        hidden_spec = HIDDEN_CASE_SPECS[index % len(HIDDEN_CASE_SPECS)]
+        specs.append(CaseSpec(
+            "hidden",
+            seeds[num_fake + num_real + index],
+            name=f"testcase{hidden_spec.case_id}",
+            edge_um=max(hidden_spec.edge_px * settings.hidden_scale, 24.0),
+        ))
+    return specs
+
+
+def _synthesize_spec(task: Tuple[CaseSpec, SynthesisSettings]) -> CaseBundle:
+    """Process-pool entry point (module-level so it pickles)."""
+    spec, settings = task
+    return synthesize_case(spec.kind, spec.seed, settings=settings,
+                           name=spec.name, edge_um=spec.edge_um)
+
+
 def make_suite(
     num_fake: int = 8,
     num_real: int = 4,
     num_hidden: int = 10,
     seed: int = 0,
     settings: Optional[SynthesisSettings] = None,
+    workers: int = 1,
 ) -> BenchmarkSuite:
     """Generate a full benchmark suite (train fake+real, test hidden).
 
     Hidden cases follow the Table II geometry: the i-th hidden case uses
     the i-th spec's edge length multiplied by ``settings.hidden_scale``.
+
+    ``workers > 1`` fans case generation out over a process pool.  Every
+    case's RNG seed is fixed up front by :func:`suite_case_specs`, so the
+    suite is bit-identical for any worker count.
     """
     settings = settings or SynthesisSettings()
-    suite = BenchmarkSuite()
-    for index in range(num_fake):
-        suite.fake_cases.append(
-            synthesize_case("fake", seed=seed * 100_003 + index, settings=settings)
-        )
-    for index in range(num_real):
-        suite.real_cases.append(
-            synthesize_case("real", seed=seed * 100_003 + 50_000 + index,
-                            settings=settings)
-        )
-    for index in range(num_hidden):
-        spec = HIDDEN_CASE_SPECS[index % len(HIDDEN_CASE_SPECS)]
-        edge_um = max(spec.edge_px * settings.hidden_scale, 24.0)
-        suite.hidden_cases.append(
-            synthesize_case(
-                "hidden",
-                seed=seed * 100_003 + 90_000 + index,
-                settings=settings,
-                name=f"testcase{spec.case_id}",
-                edge_um=edge_um,
-            )
-        )
-    return suite
+    specs = suite_case_specs(num_fake, num_real, num_hidden, seed, settings)
+    tasks = [(spec, settings) for spec in specs]
+
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            cases = list(pool.map(_synthesize_spec, tasks))
+    else:
+        cases = [_synthesize_spec(task) for task in tasks]
+
+    return BenchmarkSuite(
+        fake_cases=cases[:num_fake],
+        real_cases=cases[num_fake:num_fake + num_real],
+        hidden_cases=cases[num_fake + num_real:],
+    )

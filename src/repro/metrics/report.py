@@ -64,6 +64,11 @@ def metric_ratios(averages: Dict[str, CaseMetrics],
     base = averages[reference]
     ratios: Dict[str, Dict[str, float]] = {}
     for model_name, row in averages.items():
+        if model_name == reference:
+            # the reference row is 1.00 by construction, even when a metric
+            # averages to zero (0/0 would otherwise hit the zero-guard)
+            ratios[model_name] = {"f1": 1.0, "mae": 1.0, "tat": 1.0}
+            continue
         ratios[model_name] = {
             "f1": row.f1 / base.f1 if base.f1 else 0.0,
             "mae": row.mae / base.mae if base.mae else 0.0,

@@ -1,17 +1,28 @@
 """``repro.solver`` — golden static IR-drop solver (ground-truth substrate).
 
-Sparse nodal assembly, exact solve, physical audits, and rasterisation of
-node voltages into the contest's per-pixel IR map format.
+Vectorized sparse nodal assembly, exact direct or preconditioned-CG solve,
+factor-once/solve-many batching, physical audits, and rasterisation of node
+voltages into the contest's per-pixel IR map format.
 """
 
 from repro.solver.checks import SolutionAudit, audit_solution
-from repro.solver.conductance import NodalSystem, assemble_system
+from repro.solver.conductance import (
+    NodalSystem,
+    assemble_system,
+    assemble_system_reference,
+)
+from repro.solver.factorized import (
+    DIRECT_SIZE_LIMIT,
+    FactorizedPDN,
+    solve_static_ir_many,
+)
 from repro.solver.rasterize import node_positions_px, rasterize_ir_map
 from repro.solver.static import IRSolveResult, solve_static_ir
 
 __all__ = [
-    "assemble_system", "NodalSystem",
+    "assemble_system", "assemble_system_reference", "NodalSystem",
     "solve_static_ir", "IRSolveResult",
+    "FactorizedPDN", "solve_static_ir_many", "DIRECT_SIZE_LIMIT",
     "rasterize_ir_map", "node_positions_px",
     "audit_solution", "SolutionAudit",
 ]

@@ -4,19 +4,21 @@ This is the "commercial tool" role in the paper's Fig. 1: solve the PDN's
 nodal equations exactly and report per-node voltages / IR drops.  The
 learning task is to approximate this solver's output orders of magnitude
 faster.
+
+One-shot solves delegate to :class:`repro.solver.factorized.FactorizedPDN`
+(factor-once engine, direct or preconditioned-CG backend); batch workloads
+should call :func:`repro.solver.factorized.solve_static_ir_many` so the
+factorisation is reused across RHS vectors.
 """
 
 from __future__ import annotations
 
-import time
-import warnings
 from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
-from scipy.sparse.linalg import MatrixRankWarning, spsolve
 
-from repro.solver.conductance import NodalSystem, assemble_system
+from repro.solver.conductance import NodalSystem
 from repro.spice.netlist import Netlist
 
 __all__ = ["IRSolveResult", "solve_static_ir"]
@@ -36,39 +38,46 @@ class IRSolveResult:
 
     @property
     def worst_drop(self) -> float:
-        return float(max(self.ir_drop().values())) if self.node_voltages else 0.0
+        """Largest IR drop over all nodes.
+
+        A plain min-scan over the voltages — no per-access dict
+        materialisation (the old ``ir_drop()`` round trip), and no cache
+        to go stale when voltages are rescaled in place.
+        """
+        if not self.node_voltages:
+            return 0.0
+        return float(self.vdd - min(self.node_voltages.values()))
 
 
-def solve_static_ir(netlist: Netlist) -> IRSolveResult:
-    """Solve the PDN and return every node voltage.
-
-    Raises
-    ------
-    ValueError
-        If the netlist has no supplies or the reduced system is singular
-        (floating subgrids — run ``prune_unreachable`` first).
-    """
-    vdd = netlist.supply_voltage()
-    system = assemble_system(netlist)
-
-    start = time.perf_counter()
-    if system.size:
-        with warnings.catch_warnings():
-            # singularity is detected below via non-finite entries
-            warnings.simplefilter("ignore", MatrixRankWarning)
-            solution = spsolve(system.matrix, system.rhs)
-        solution = np.atleast_1d(solution)
-        if not np.isfinite(solution).all():
-            raise ValueError(
-                f"singular PDN system for {netlist.name!r} "
-                "(floating nodes without a path to a supply?)"
-            )
-    else:
-        solution = np.empty(0)
-    elapsed = time.perf_counter() - start
-
+def result_from_solution(system: NodalSystem, vdd: float,
+                         solution: np.ndarray,
+                         solve_seconds: float) -> IRSolveResult:
+    """Package a free-node solution vector into an :class:`IRSolveResult`."""
     voltages: Dict[str, float] = {}
     for name, value in zip(system.free_nodes, solution):
         voltages[name] = float(value)
     voltages.update(system.fixed_voltages)
-    return IRSolveResult(node_voltages=voltages, vdd=vdd, solve_seconds=elapsed)
+    return IRSolveResult(node_voltages=voltages, vdd=vdd,
+                         solve_seconds=solve_seconds)
+
+
+def solve_static_ir(netlist: Netlist, method: str = "auto") -> IRSolveResult:
+    """Solve the PDN and return every node voltage.
+
+    Parameters
+    ----------
+    method:
+        ``"direct"`` (sparse LU), ``"cg"`` (Jacobi-preconditioned conjugate
+        gradient, for grids too large to factor), or ``"auto"`` to pick by
+        system size.
+
+    Raises
+    ------
+    ValueError
+        If the netlist has no supplies, a resistor has non-positive
+        resistance, or the reduced system is singular (floating subgrids —
+        run ``prune_unreachable`` first).
+    """
+    from repro.solver.factorized import FactorizedPDN  # circular-import guard
+
+    return FactorizedPDN(netlist, method=method).solve()

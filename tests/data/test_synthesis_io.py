@@ -8,6 +8,7 @@ from repro.data.synthesis import (
     BenchmarkSuite,
     SynthesisSettings,
     make_suite,
+    suite_case_specs,
     synthesize_case,
 )
 from repro.metrics.regression import mae
@@ -78,6 +79,39 @@ class TestMakeSuite:
         assert {c.kind for c in suite.fake_cases} == {"fake"}
         assert {c.kind for c in suite.real_cases} == {"real"}
         assert {c.kind for c in suite.hidden_cases} == {"hidden"}
+
+
+class TestParallelSuite:
+    SMALL = dict(num_fake=2, num_real=1, num_hidden=1, seed=11)
+
+    @pytest.fixture(scope="class")
+    def settings(self) -> SynthesisSettings:
+        return SynthesisSettings(edge_um_range=(24.0, 28.0))
+
+    def test_specs_are_deterministic(self, settings):
+        first = suite_case_specs(2, 1, 3, seed=4, settings=settings)
+        second = suite_case_specs(2, 1, 3, seed=4, settings=settings)
+        assert first == second
+        assert [s.kind for s in first] == ["fake", "fake", "real",
+                                          "hidden", "hidden", "hidden"]
+        assert len({s.seed for s in first}) == len(first)
+
+    def test_bit_identical_across_worker_counts(self, settings):
+        serial = make_suite(settings=settings, workers=1, **self.SMALL)
+        parallel = make_suite(settings=settings, workers=4, **self.SMALL)
+        serial_cases = serial.all_cases()
+        parallel_cases = parallel.all_cases()
+        assert len(serial_cases) == len(parallel_cases) == 4
+        for a, b in zip(serial_cases, parallel_cases):
+            assert (a.name, a.kind) == (b.name, b.kind)
+            assert np.array_equal(a.ir_map, b.ir_map)
+            for channel, raster in a.feature_maps.items():
+                assert np.array_equal(b.feature_maps[channel], raster), channel
+            assert ([r.spice_line() for r in a.netlist.resistors]
+                    == [r.spice_line() for r in b.netlist.resistors])
+            assert ([s.spice_line() for s in a.netlist.current_sources]
+                    == [s.spice_line() for s in b.netlist.current_sources])
+            assert a.metadata == b.metadata
 
 
 class TestCaseIO:

@@ -130,6 +130,25 @@ def test_generated_case_is_physical():
     assert 0 < result.worst_drop < result.vdd
 
 
+def test_worst_drop_tracks_voltage_updates():
+    net = Netlist()
+    net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 10.0)
+    net.add_voltage_source("n1_m1_0_0", 1.0)
+    net.add_current_source("n1_m1_1000_0", 0.01)
+    result = solve_static_ir(net)
+    assert np.isclose(result.worst_drop, 0.1)
+
+    # a min-scan, not a snapshot: rescales (the synthesis trick) and
+    # in-place edits are both reflected immediately
+    result.node_voltages = {name: 1.0 - 2 * (1.0 - v)
+                            for name, v in result.node_voltages.items()}
+    assert np.isclose(result.worst_drop, 0.2)
+    result.node_voltages["n1_m1_1000_0"] = 0.5
+    assert np.isclose(result.worst_drop, 0.5)
+    result.vdd = 1.1
+    assert np.isclose(result.worst_drop, 0.6)
+
+
 def test_assemble_system_counts():
     net = Netlist()
     net.add_resistor("n1_m1_0_0", "n1_m1_1000_0", 1.0)
