@@ -1,0 +1,148 @@
+"""Extra experiment — suite-synthesis throughput and memory.
+
+LMM-IR trains on thousands of synthesized cases (§IV-A), so dataset
+generation is the bottleneck ahead of every experiment.  Two claims are
+asserted here:
+
+* **Template factorisation reuse** (grid built + factored once per
+  template, solved per case) beats per-case factorisation by >= 2x at
+  >= 8 cases per template, with bit-identical output.
+* **Streamed writes** keep the parent process's memory flat: doubling the
+  suite size must not double the parent's peak allocation, and streaming
+  must stay well under the in-memory build's footprint.
+"""
+
+import shutil
+import tempfile
+import time
+import tracemalloc
+
+import numpy as np
+from conftest import emit
+
+from repro.data.synthesis import (
+    GridTemplateSpec,
+    SynthesisSettings,
+    make_suite,
+    stream_suite,
+    synthesize_case,
+)
+from repro.solver.factorized import FactorizedCache
+
+CASES_PER_TEMPLATE = 8
+TEMPLATE_EDGE = 72.0
+
+
+def _synthesize_family(cache: FactorizedCache) -> list:
+    """One template, CASES_PER_TEMPLATE cases — the suite inner loop."""
+    settings = SynthesisSettings(edge_um_range=(TEMPLATE_EDGE, TEMPLATE_EDGE))
+    template = GridTemplateSpec("fake", 2024)
+    return [
+        synthesize_case("fake", 5000 + i, settings=settings,
+                        template=template, template_cache=cache)
+        for i in range(CASES_PER_TEMPLATE)
+    ]
+
+
+def test_template_reuse_speedup(artifact_dir):
+    """Factor-once-per-template must beat factor-per-case by >= 2x."""
+    # warm-up outside the timed region (JIT-free, but page/import effects)
+    _synthesize_family(FactorizedCache(maxsize=1))
+
+    start = time.perf_counter()
+    no_reuse = _synthesize_family(FactorizedCache(maxsize=0))
+    no_reuse_s = time.perf_counter() - start
+
+    reuse_cache = FactorizedCache(maxsize=1)
+    start = time.perf_counter()
+    reused = _synthesize_family(reuse_cache)
+    reuse_s = time.perf_counter() - start
+
+    # reuse must be invisible in the data
+    assert reuse_cache.hits == CASES_PER_TEMPLATE - 1
+    for a, b in zip(no_reuse, reused):
+        assert a.name == b.name
+        assert np.array_equal(a.ir_map, b.ir_map)
+        for channel, raster in a.feature_maps.items():
+            assert np.array_equal(b.feature_maps[channel], raster), channel
+
+    speedup = no_reuse_s / max(reuse_s, 1e-9)
+    text = (
+        "Suite synthesis: template factorisation reuse "
+        f"({CASES_PER_TEMPLATE} cases on one {TEMPLATE_EDGE:.0f} um grid):\n"
+        f"  factor per case:     {no_reuse_s * 1e3:8.1f} ms\n"
+        f"  factor per template: {reuse_s * 1e3:8.1f} ms\n"
+        f"  speedup:             {speedup:8.1f}x"
+    )
+    emit(artifact_dir, "suite_synthesis_reuse.txt", text)
+    assert speedup >= 2.0
+
+
+def _streamed_peak(num_fake: int) -> int:
+    """Parent-process peak traced allocation while streaming a suite.
+
+    Per-case geometry (``cases_per_template=1``) keeps the bounded
+    template cache out of the measurement: what's left is exactly the
+    footprint of case handling, which streaming must keep at O(1 case).
+    """
+    out_dir = tempfile.mkdtemp(prefix="bench_stream_")
+    try:
+        tracemalloc.start()
+        stream_suite(out_dir, num_fake=num_fake, num_real=0, num_hidden=0,
+                     seed=5, settings=_SMALL_SETTINGS)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        shutil.rmtree(out_dir, ignore_errors=True)
+    return peak
+
+
+_SMALL_SETTINGS = SynthesisSettings(edge_um_range=(40.0, 40.0))
+
+
+def test_streamed_parent_memory_is_flat(artifact_dir):
+    """Parent peak memory must not scale with suite size when streaming."""
+    small_peak = _streamed_peak(num_fake=4)
+    large_peak = _streamed_peak(num_fake=16)
+
+    tracemalloc.start()
+    suite = make_suite(num_fake=16, num_real=0, num_hidden=0, seed=5,
+                       settings=_SMALL_SETTINGS)
+    _, in_memory_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(suite.fake_cases) == 16
+
+    growth = large_peak / max(small_peak, 1)
+    text = (
+        "Suite synthesis: parent-process peak allocation\n"
+        f"  streamed,  4 cases: {small_peak / 1e6:8.1f} MB\n"
+        f"  streamed, 16 cases: {large_peak / 1e6:8.1f} MB "
+        f"(x{growth:.2f} for 4x the cases)\n"
+        f"  in-memory, 16 cases: {in_memory_peak / 1e6:7.1f} MB"
+    )
+    emit(artifact_dir, "suite_synthesis_memory.txt", text)
+    # streamed peak is per-case, not per-suite: 4x the cases must cost
+    # far less than 4x the memory...
+    assert growth < 1.5
+    # ...and far less than holding the suite in memory
+    assert large_peak < in_memory_peak / 2
+
+
+def test_streamed_suite_matches_in_memory(artifact_dir):
+    """Stream + read-back reproduces the in-memory suite (CSV tolerance)."""
+    from repro.data.synthesis import suite_from_manifest
+
+    out_dir = tempfile.mkdtemp(prefix="bench_parity_")
+    try:
+        kwargs = dict(num_fake=4, num_real=2, num_hidden=0, seed=9,
+                      settings=_SMALL_SETTINGS, cases_per_template=4)
+        manifest = stream_suite(out_dir, workers=2, **kwargs)
+        streamed = suite_from_manifest(manifest)
+        in_memory = make_suite(**kwargs)
+        for a, b in zip(in_memory.all_cases(), streamed.all_cases()):
+            assert a.name == b.name
+            assert np.allclose(a.ir_map, b.ir_map, rtol=1e-7, atol=1e-12)
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+    emit(artifact_dir, "suite_synthesis_parity.txt",
+         "Streamed suite == in-memory suite (within %.8g CSV round-trip)")

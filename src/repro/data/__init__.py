@@ -6,19 +6,38 @@ from repro.data.dataset import (
     PAPER_FAKE_OVERSAMPLE,
     PAPER_REAL_OVERSAMPLE,
     IRDropDataset,
+    LazyCase,
+    ShardedSuiteDataset,
 )
-from repro.data.io import CHANNEL_FILES, read_case, write_case
+from repro.data.io import (
+    CHANNEL_FILES,
+    FLOAT_ROUNDTRIP_RTOL,
+    CaseRef,
+    SuiteManifest,
+    merge_manifests,
+    read_case,
+    read_manifest,
+    write_case,
+    write_manifest,
+)
 from repro.data.synthesis import (
     BenchmarkSuite,
+    GridTemplateSpec,
     SynthesisSettings,
     make_suite,
+    stream_suite,
+    suite_from_manifest,
     synthesize_case,
 )
 
 __all__ = [
     "CaseBundle", "CASE_KINDS",
     "IRDropDataset", "PAPER_FAKE_OVERSAMPLE", "PAPER_REAL_OVERSAMPLE",
-    "read_case", "write_case", "CHANNEL_FILES",
-    "synthesize_case", "make_suite", "BenchmarkSuite", "SynthesisSettings",
+    "ShardedSuiteDataset", "LazyCase",
+    "read_case", "write_case", "CHANNEL_FILES", "FLOAT_ROUNDTRIP_RTOL",
+    "CaseRef", "SuiteManifest", "read_manifest", "write_manifest",
+    "merge_manifests",
+    "synthesize_case", "make_suite", "stream_suite", "suite_from_manifest",
+    "BenchmarkSuite", "SynthesisSettings", "GridTemplateSpec",
     "gaussian_noise", "PAPER_SIGMA_RANGE",
 ]

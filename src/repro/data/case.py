@@ -24,7 +24,13 @@ CASE_KINDS = ("fake", "real", "hidden")
 
 @dataclass
 class CaseBundle:
-    """One complete IR-drop benchmark case."""
+    """One complete IR-drop benchmark case.
+
+    Cases synthesized from a shared grid template
+    (:class:`repro.data.synthesis.GridTemplateSpec`) reference the same
+    geometry-only feature-map arrays as their siblings — treat
+    ``feature_maps`` values as read-only and copy before mutating.
+    """
 
     name: str
     kind: str
@@ -56,7 +62,6 @@ class CaseBundle:
     def point_cloud(self) -> PointCloud:
         """Lazily encoded netlist point cloud (cached)."""
         if self._point_cloud is None:
-            stats = self.netlist.statistics()
             rows, cols = self.shape
             self._point_cloud = encode_netlist(
                 self.netlist, die_size_um=(max(cols - 1.0, 1.0), max(rows - 1.0, 1.0))

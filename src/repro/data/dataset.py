@@ -1,4 +1,4 @@
-"""Dataset with the paper's oversampling scheme.
+"""Datasets: the paper's oversampling scheme plus lazy sharded suites.
 
 The contest provides few cases, so the paper oversamples each fake case
 10× and each real case 20× (§IV-A: 100×10 fake + 10×20 real + 2000 BeGAN
@@ -6,15 +6,30 @@ The contest provides few cases, so the paper oversamples each fake case
 the base counts smaller).  Oversampled entries reference the same
 underlying :class:`CaseBundle`; stochastic augmentation at load time makes
 the repeats non-identical.
+
+:class:`ShardedSuiteDataset` closes the loop with streamed synthesis
+(:func:`repro.data.synthesis.stream_suite`): it reads one or more shard
+manifests and exposes the merged suite as lazily loaded cases — each
+entry is a :class:`LazyCase` that knows its name/kind from the manifest
+but only reads its directory on first real access, through a small
+shared LRU so memory stays bounded no matter the suite size.  Lazy cases
+duck-type :class:`CaseBundle`, so they flow through
+``IRDropDataset.with_oversampling`` and the training loader unchanged.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Union
 
 from repro.data.case import CaseBundle
+from repro.data.io import CaseRef, SuiteManifest, merge_manifests, read_case, read_manifest
 
-__all__ = ["IRDropDataset", "PAPER_FAKE_OVERSAMPLE", "PAPER_REAL_OVERSAMPLE"]
+__all__ = [
+    "IRDropDataset", "ShardedSuiteDataset", "LazyCase",
+    "PAPER_FAKE_OVERSAMPLE", "PAPER_REAL_OVERSAMPLE",
+]
 
 PAPER_FAKE_OVERSAMPLE = 10
 PAPER_REAL_OVERSAMPLE = 20
@@ -70,3 +85,133 @@ class IRDropDataset:
         for case in self._cases:
             counts[case.kind] = counts.get(case.kind, 0) + 1
         return counts
+
+
+class _BundleLRU:
+    """Tiny shared LRU of loaded bundles, keyed by case directory."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"cache size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CaseBundle]" = OrderedDict()
+
+    def load(self, directory: str) -> CaseBundle:
+        if directory in self._entries:
+            self._entries.move_to_end(directory)
+            return self._entries[directory]
+        bundle = read_case(directory)
+        self._entries[directory] = bundle
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return bundle
+
+
+class LazyCase:
+    """A :class:`CaseBundle` facade that loads from disk on first access.
+
+    ``name`` and ``kind`` come straight from the manifest ref (so
+    oversampling and split logic never touch the disk); every other
+    attribute — ``ir_map``, ``feature_maps``, ``features(...)``,
+    ``point_cloud()``, ... — transparently loads the bundle through the
+    dataset's shared LRU.  Replicated references (oversampling) share one
+    underlying bundle while it stays cached; after eviction it is simply
+    re-read.
+    """
+
+    def __init__(self, ref: CaseRef, directory: str, cache: _BundleLRU):
+        self._ref = ref
+        self._directory = directory
+        self._cache = cache
+
+    @property
+    def ref(self) -> CaseRef:
+        return self._ref
+
+    @property
+    def name(self) -> str:
+        return self._ref.name
+
+    @property
+    def kind(self) -> str:
+        return self._ref.kind
+
+    def load(self) -> CaseBundle:
+        """The underlying bundle (read through the shared LRU)."""
+        return self._cache.load(self._directory)
+
+    def __getattr__(self, attribute: str):
+        if attribute.startswith("_"):  # no disk IO for dunder/protocol probes
+            raise AttributeError(attribute)
+        return getattr(self.load(), attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LazyCase({self._ref.name!r}, kind={self._ref.kind})"
+
+
+class ShardedSuiteDataset:
+    """Lazily loaded suite backed by one or more shard manifests.
+
+    Accepts manifest paths (or loaded :class:`SuiteManifest` objects);
+    multiple shards are merged into full-suite order by case index.  The
+    dataset is an ordered sequence of :class:`LazyCase` entries, so it
+    plugs directly into :meth:`IRDropDataset.with_oversampling` and
+    :class:`repro.train.loader.BatchLoader`.
+    """
+
+    def __init__(
+        self,
+        manifests: Union[str, "os.PathLike[str]", SuiteManifest,
+                         Sequence[Union[str, "os.PathLike[str]",
+                                        SuiteManifest]]],
+        cache_size: int = 8,
+        require_complete: bool = True,
+    ):
+        if isinstance(manifests, (str, os.PathLike, SuiteManifest)):
+            manifests = [manifests]
+        loaded = [m if isinstance(m, SuiteManifest)
+                  else read_manifest(os.fspath(m))
+                  for m in manifests]
+        if not loaded:
+            raise ValueError("dataset needs at least one manifest")
+        merged = loaded[0] if len(loaded) == 1 else merge_manifests(loaded)
+        if require_complete and not merged.complete:
+            present = sorted(ref.index for ref in merged.refs)
+            raise ValueError(
+                f"manifests cover {len(present)} of "
+                f"{merged.expected_cases} cases; pass every shard or "
+                "require_complete=False"
+            )
+        self.manifest = merged
+        self._cache = _BundleLRU(cache_size)
+        self._cases = [
+            LazyCase(ref, merged.case_dir(ref), self._cache)
+            for ref in sorted(merged.refs, key=lambda ref: ref.index)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def __getitem__(self, index: int) -> LazyCase:
+        return self._cases[index]
+
+    def __iter__(self):
+        return iter(self._cases)
+
+    def kind_counts(self) -> dict:
+        counts: dict = {}
+        for case in self._cases:
+            counts[case.kind] = counts.get(case.kind, 0) + 1
+        return counts
+
+    def cases_of_kind(self, kind: str) -> List[LazyCase]:
+        return [case for case in self._cases if case.kind == kind]
+
+    @property
+    def training_cases(self) -> List[LazyCase]:
+        """Fake + real cases, mirroring ``BenchmarkSuite.training_cases``."""
+        return [case for case in self._cases if case.kind in ("fake", "real")]
+
+    def with_oversampling(self, **kwargs) -> IRDropDataset:
+        """Paper-scheme oversampling over the lazy cases."""
+        return IRDropDataset.with_oversampling(self._cases, **kwargs)

@@ -28,27 +28,51 @@ class ChannelNormalizer:
     scale: Optional[np.ndarray] = None
 
     def fit(self, stacks: Iterable[np.ndarray]) -> "ChannelNormalizer":
-        """Fit statistics over an iterable of (C, H, W) stacks."""
+        """Fit statistics over an iterable of (C, H, W) stacks.
+
+        Single streaming pass — only one stack is resident at a time, so
+        fitting over a lazily loaded dataset (e.g.
+        :class:`repro.data.dataset.ShardedSuiteDataset`) never
+        materialises the whole training set.
+        """
         if self.mode not in ("minmax", "zscore"):
             raise ValueError(f"unknown normalisation mode {self.mode!r}")
-        stacks = list(stacks)
-        if not stacks:
+        channels = 0
+        mins = maxs = mean = m2 = None
+        pixels = 0
+        for stack in stacks:
+            flat = np.asarray(stack, dtype=float).reshape(stack.shape[0], -1)
+            count = flat.shape[1]
+            # per-stack moments are numpy-stable; merge via Chan et al.
+            # (pairwise Welford), not E[x^2]-E[x]^2 which cancels
+            # catastrophically on near-constant offset channels
+            stack_mean = flat.mean(axis=1)
+            stack_m2 = flat.var(axis=1) * count
+            if mins is None:
+                channels = flat.shape[0]
+                mins = flat.min(axis=1)
+                maxs = flat.max(axis=1)
+                mean = stack_mean
+                m2 = stack_m2
+            elif flat.shape[0] != channels:
+                raise ValueError("all stacks must share the channel count")
+            else:
+                np.minimum(mins, flat.min(axis=1), out=mins)
+                np.maximum(maxs, flat.max(axis=1), out=maxs)
+                delta = stack_mean - mean
+                total = pixels + count
+                mean = mean + delta * (count / total)
+                m2 = m2 + stack_m2 + delta * delta * (pixels * count / total)
+            pixels += count
+        if mins is None:
             raise ValueError("cannot fit a normalizer on zero stacks")
-        channels = stacks[0].shape[0]
-        if any(s.shape[0] != channels for s in stacks):
-            raise ValueError("all stacks must share the channel count")
 
-        flattened = [
-            np.concatenate([s[c].reshape(-1) for s in stacks]) for c in range(channels)
-        ]
         if self.mode == "minmax":
-            self.shift = np.array([values.min() for values in flattened])
-            self.scale = np.array([
-                max(values.max() - values.min(), _EPS) for values in flattened
-            ])
+            self.shift = mins
+            self.scale = np.maximum(maxs - mins, _EPS)
         else:
-            self.shift = np.array([values.mean() for values in flattened])
-            self.scale = np.array([max(values.std(), _EPS) for values in flattened])
+            self.shift = mean
+            self.scale = np.maximum(np.sqrt(m2 / pixels), _EPS)
         return self
 
     def transform(self, stack: np.ndarray) -> np.ndarray:

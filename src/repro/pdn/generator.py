@@ -21,7 +21,10 @@ from repro.pdn.power import synthetic_power_map
 from repro.spice.netlist import Netlist
 from repro.spice.nodes import NodeName, format_node
 
-__all__ = ["PDNConfig", "PDNCase", "generate_pdn", "prune_unreachable"]
+__all__ = [
+    "PDNConfig", "PDNCase", "PDNTemplate", "generate_pdn",
+    "generate_pdn_template", "instantiate_pdn_case", "prune_unreachable",
+]
 
 
 @dataclass
@@ -97,6 +100,77 @@ def generate_pdn(config: PDNConfig, name: Optional[str] = None) -> PDNCase:
         netlist=netlist,
         power_density=power,
         pad_nodes=pad_nodes,
+        config=config,
+    )
+
+
+@dataclass
+class PDNTemplate:
+    """The case-independent half of a PDN case: grid plus pads, no loads.
+
+    The conductance matrix of the nodal system depends only on resistors
+    and supply placement, so every case instantiated from one template
+    shares a factorisation (see
+    :class:`repro.solver.factorized.FactorizedPDN`).  The netlist here is
+    already pruned; per-case current sources attach to surviving nodes
+    only, so instantiated cases never need re-pruning.
+    """
+
+    name: str
+    netlist: Netlist
+    pad_nodes: List[str]
+    config: PDNConfig
+
+
+def generate_pdn_template(config: PDNConfig,
+                          name: Optional[str] = None) -> PDNTemplate:
+    """Build the shared geometry of a case family: grid + pads, pruned.
+
+    Deterministic given ``config`` — shards and workers that need the same
+    template regenerate it independently and get bit-identical grids.
+    """
+    rng = np.random.default_rng(config.seed)
+    grid_config = GridConfig(
+        stack=config.stack,
+        width_um=config.width_um,
+        height_um=config.height_um,
+        rail_tap_spacing_um=config.tap_spacing_um,
+        via_dropout=config.via_dropout,
+        blockages=tuple(config.blockages),
+        seed=config.seed,
+    )
+    netlist = build_grid(grid_config)
+    netlist.name = name or f"pdn_template{config.seed}"
+    pad_nodes = _attach_pads(netlist, config, rng)
+    prune_unreachable(netlist)
+    return PDNTemplate(name=netlist.name, netlist=netlist,
+                       pad_nodes=pad_nodes, config=config)
+
+
+def instantiate_pdn_case(template: PDNTemplate, config: PDNConfig,
+                         rng: np.random.Generator,
+                         name: Optional[str] = None) -> PDNCase:
+    """Attach a fresh load pattern to a template's grid.
+
+    ``config`` carries the per-case load knobs (``hotspots``,
+    ``background``, ``current_fraction``, ``total_current``) on top of the
+    template's geometry; ``rng`` drives the power map and tap selection.
+    The returned case's netlist shares the (immutable) grid elements with
+    the template but owns its current-source list.
+    """
+    netlist = Netlist(name or template.name)
+    netlist.resistors = list(template.netlist.resistors)
+    netlist.voltage_sources = list(template.netlist.voltage_sources)
+    power = synthetic_power_map(
+        config.map_shape, rng,
+        hotspots=config.hotspots, background=config.background,
+    )
+    _attach_current_sources(netlist, power, config, rng)
+    return PDNCase(
+        name=netlist.name,
+        netlist=netlist,
+        power_density=power,
+        pad_nodes=list(template.pad_nodes),
         config=config,
     )
 

@@ -13,6 +13,7 @@ from repro.solver.conductance import (
 )
 from repro.solver.factorized import (
     DIRECT_SIZE_LIMIT,
+    FactorizedCache,
     FactorizedPDN,
     solve_static_ir_many,
 )
@@ -22,7 +23,8 @@ from repro.solver.static import IRSolveResult, solve_static_ir
 __all__ = [
     "assemble_system", "assemble_system_reference", "NodalSystem",
     "solve_static_ir", "IRSolveResult",
-    "FactorizedPDN", "solve_static_ir_many", "DIRECT_SIZE_LIMIT",
+    "FactorizedPDN", "FactorizedCache", "solve_static_ir_many",
+    "DIRECT_SIZE_LIMIT",
     "rasterize_ir_map", "node_positions_px",
     "audit_solution", "SolutionAudit",
 ]

@@ -17,7 +17,8 @@ by system size.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -28,7 +29,10 @@ from repro.solver.conductance import CurrentsLike, assemble_system
 from repro.solver.static import IRSolveResult, result_from_solution
 from repro.spice.netlist import Netlist
 
-__all__ = ["FactorizedPDN", "solve_static_ir_many", "DIRECT_SIZE_LIMIT"]
+__all__ = [
+    "FactorizedPDN", "FactorizedCache", "solve_static_ir_many",
+    "DIRECT_SIZE_LIMIT",
+]
 
 DIRECT_SIZE_LIMIT = 400_000
 """``method="auto"`` switches to CG above this many unknowns."""
@@ -186,6 +190,64 @@ class FactorizedPDN:
             result_from_solution(self.system, self.vdd, solutions[:, j], per_solve)
             for j in range(len(current_maps))
         ]
+
+
+class FactorizedCache:
+    """Keyed LRU cache of prepared solver state.
+
+    Suite synthesis keys this by grid template, so every case sharing a
+    PDN geometry reuses one :class:`FactorizedPDN` (and whatever other
+    per-template payload the builder bundles with it): the factorisation
+    is paid once per *template* instead of once per *case*.
+
+    ``maxsize=0`` disables storage entirely (every lookup rebuilds), which
+    is the no-reuse baseline the suite-synthesis benchmark measures
+    against.  Eviction is least-recently-used; a template evicted under
+    memory pressure is simply refactored on its next use — results are
+    identical either way, only the cost differs.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building (and storing) on miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        value = builder()
+        self.misses += 1
+        if self.maxsize > 0:
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._entries)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FactorizedCache(maxsize={self.maxsize}, entries="
+                f"{len(self._entries)}, hits={self.hits}, "
+                f"misses={self.misses}, evictions={self.evictions})")
 
 
 def solve_static_ir_many(

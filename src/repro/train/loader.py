@@ -73,9 +73,15 @@ class CasePreprocessor:
         self._fitted = False
 
     def fit(self, cases: Sequence[CaseBundle]) -> "CasePreprocessor":
-        """Fit normalisation statistics on (raw, unadjusted) training maps."""
-        self.normalizer.fit([case.features(self.channels) for case in cases])
-        self.target_scaler.fit([case.ir_map for case in cases])
+        """Fit normalisation statistics on (raw, unadjusted) training maps.
+
+        Both fits stream one case at a time (generator expressions into
+        single-pass accumulators), so fitting on a lazily loaded
+        :class:`~repro.data.dataset.ShardedSuiteDataset` touches the disk
+        case-by-case instead of materialising every feature stack at once.
+        """
+        self.normalizer.fit(case.features(self.channels) for case in cases)
+        self.target_scaler.fit(case.ir_map for case in cases)
         self._fitted = True
         return self
 
@@ -120,7 +126,13 @@ class CasePreprocessor:
 
 
 class BatchLoader:
-    """Shuffling minibatch iterator over a dataset of cases."""
+    """Shuffling minibatch iterator over a dataset of cases.
+
+    ``cases`` is any ordered sequence of bundles — an in-memory list, an
+    :class:`~repro.data.dataset.IRDropDataset`, or the lazy entries of a
+    :class:`~repro.data.dataset.ShardedSuiteDataset` (loaded per batch
+    through its LRU, so iteration memory stays bounded).
+    """
 
     def __init__(self, cases: Sequence[CaseBundle],
                  preprocessor: CasePreprocessor,

@@ -1,0 +1,118 @@
+"""Property-style round-trip tests for ``write_case``/``read_case``.
+
+Sweeps randomized :class:`CaseBundle` layouts — channel subsets present or
+absent, non-square and degenerate (single-row / single-column) maps,
+arbitrary metadata — and pins down the one lossy step: the ``%.8g`` CSV
+format, whose worst-case relative error is published as
+``FLOAT_ROUNDTRIP_RTOL``.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data.case import CaseBundle
+from repro.data.io import (
+    CHANNEL_FILES,
+    FLOAT_ROUNDTRIP_RTOL,
+    read_case,
+    write_case,
+)
+from repro.spice.netlist import Netlist
+
+
+def _tiny_netlist(rng: np.random.Generator, name: str) -> Netlist:
+    """A minimal valid netlist with contest-style node names."""
+    netlist = Netlist(name)
+    nodes = [f"n1_m1_{x * 1000}_{y * 1000}" for x in range(3) for y in range(2)]
+    for a, b in zip(nodes, nodes[1:]):
+        netlist.add_resistor(a, b, float(rng.uniform(0.1, 5.0)))
+    netlist.add_voltage_source(nodes[0], 1.1)
+    for node in rng.choice(nodes[1:], size=2, replace=False):
+        netlist.add_current_source(str(node), float(rng.uniform(1e-6, 1e-2)))
+    return netlist
+
+
+def _random_case(rng: np.random.Generator, shape, channels, index: int) -> CaseBundle:
+    # span many magnitudes so %.8g rounding is actually exercised
+    scale = 10.0 ** rng.integers(-6, 4)
+    feature_maps = {
+        channel: rng.uniform(0.0, scale, size=shape) for channel in channels
+    }
+    metadata = {
+        "seed": float(index),
+        "vdd": 1.1,
+        "oddball": float(rng.normal() * scale),
+    }
+    return CaseBundle(
+        name=f"prop_case_{index}",
+        kind=str(rng.choice(["fake", "real", "hidden"])),
+        netlist=_tiny_netlist(rng, f"prop_case_{index}"),
+        feature_maps=feature_maps,
+        ir_map=rng.uniform(0.0, 0.1, size=shape),
+        metadata=metadata,
+    )
+
+
+ALL = tuple(CHANNEL_FILES)
+SHAPES = [(5, 9), (9, 5), (1, 7), (7, 1), (1, 1), (16, 16)]
+SUBSETS = [ALL, ALL[:3], ALL[3:], (ALL[0],), (ALL[-1], ALL[1])]
+
+
+class TestRoundTripProperties:
+    @pytest.mark.parametrize("trial,shape,channels", [
+        (i, shape, channels)
+        for i, (shape, channels) in enumerate(
+            itertools.product(SHAPES, SUBSETS))
+    ])
+    def test_randomized_roundtrip(self, tmp_path, trial, shape, channels):
+        rng = np.random.default_rng(1000 + trial)
+        case = _random_case(rng, shape, channels, trial)
+        directory = str(tmp_path / f"case{trial}")
+        write_case(case, directory)
+        loaded = read_case(directory)
+
+        # identity and provenance survive exactly (JSON floats are lossless)
+        assert loaded.name == case.name
+        assert loaded.kind == case.kind
+        assert loaded.metadata == case.metadata
+
+        # present channels round-trip within the published %.8g tolerance;
+        # absent channels stay absent
+        assert set(loaded.feature_maps) == set(channels)
+        for channel in channels:
+            assert loaded.feature_maps[channel].shape == shape, channel
+            assert np.allclose(loaded.feature_maps[channel],
+                               case.feature_maps[channel],
+                               rtol=FLOAT_ROUNDTRIP_RTOL, atol=0.0), channel
+        assert loaded.ir_map.shape == shape
+        assert np.allclose(loaded.ir_map, case.ir_map,
+                           rtol=FLOAT_ROUNDTRIP_RTOL, atol=0.0)
+
+    def test_degenerate_column_map_keeps_orientation(self, tmp_path):
+        """(H, 1) maps must not come back transposed as (1, H)."""
+        rng = np.random.default_rng(7)
+        case = _random_case(rng, (6, 1), (ALL[0],), 999)
+        write_case(case, str(tmp_path / "col"))
+        loaded = read_case(str(tmp_path / "col"))
+        assert loaded.ir_map.shape == (6, 1)
+        assert loaded.feature_maps[ALL[0]].shape == (6, 1)
+
+    def test_netlist_structure_survives(self, tmp_path):
+        rng = np.random.default_rng(21)
+        case = _random_case(rng, (4, 4), ALL, 5)
+        write_case(case, str(tmp_path / "net"))
+        loaded = read_case(str(tmp_path / "net"))
+        assert loaded.num_nodes == case.num_nodes
+        assert len(loaded.netlist.resistors) == len(case.netlist.resistors)
+        assert (len(loaded.netlist.current_sources)
+                == len(case.netlist.current_sources))
+
+    def test_tolerance_is_tight(self):
+        """The published rtol really is the worst case of one %.8g trip."""
+        rng = np.random.default_rng(3)
+        values = rng.uniform(1e-9, 1e6, size=4096)
+        reread = np.array([float(f"{v:.8g}") for v in values])
+        relative = np.abs(reread - values) / values
+        assert relative.max() <= FLOAT_ROUNDTRIP_RTOL

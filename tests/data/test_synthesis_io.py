@@ -6,6 +6,7 @@ import pytest
 from repro.data.io import read_case, write_case
 from repro.data.synthesis import (
     BenchmarkSuite,
+    GridTemplateSpec,
     SynthesisSettings,
     make_suite,
     suite_case_specs,
@@ -112,6 +113,61 @@ class TestParallelSuite:
             assert ([s.spice_line() for s in a.netlist.current_sources]
                     == [s.spice_line() for s in b.netlist.current_sources])
             assert a.metadata == b.metadata
+
+
+class TestTemplatedSuite:
+    SMALL = dict(num_fake=4, num_real=2, num_hidden=1, seed=13)
+
+    @pytest.fixture(scope="class")
+    def settings(self) -> SynthesisSettings:
+        return SynthesisSettings(edge_um_range=(24.0, 28.0))
+
+    def test_grouping_preserves_case_seeds(self, settings):
+        plain = suite_case_specs(4, 2, 1, seed=6, settings=settings)
+        grouped = suite_case_specs(4, 2, 1, seed=6, settings=settings,
+                                   cases_per_template=2)
+        assert [s.seed for s in plain] == [s.seed for s in grouped]
+        assert all(s.template is None for s in plain)
+        # fake/real cases pair up on shared templates; hidden stays per-case
+        fake_templates = [s.template for s in grouped[:4]]
+        assert fake_templates[0] == fake_templates[1]
+        assert fake_templates[2] == fake_templates[3]
+        assert fake_templates[0] != fake_templates[2]
+        assert grouped[4].template == grouped[5].template
+        assert grouped[4].template.kind == "real"
+        assert grouped[6].template is None
+
+    def test_invalid_grouping(self, settings):
+        with pytest.raises(ValueError):
+            suite_case_specs(1, 1, 1, seed=0, settings=settings,
+                             cases_per_template=0)
+
+    def test_templated_cases_share_grid(self, settings):
+        suite = make_suite(settings=settings, cases_per_template=2,
+                           **self.SMALL)
+        first, second = suite.fake_cases[:2]
+        assert ([r.spice_line() for r in first.netlist.resistors]
+                == [r.spice_line() for r in second.netlist.resistors])
+        assert first.metadata["template_seed"] == second.metadata["template_seed"]
+        assert ([s.spice_line() for s in first.netlist.current_sources]
+                != [s.spice_line() for s in second.netlist.current_sources])
+        assert not np.array_equal(first.ir_map, second.ir_map)
+
+    def test_bit_identical_across_worker_counts(self, settings):
+        serial = make_suite(settings=settings, workers=1,
+                            cases_per_template=2, **self.SMALL)
+        parallel = make_suite(settings=settings, workers=4,
+                              cases_per_template=2, **self.SMALL)
+        for a, b in zip(serial.all_cases(), parallel.all_cases()):
+            assert (a.name, a.kind) == (b.name, b.kind)
+            assert np.array_equal(a.ir_map, b.ir_map)
+            for channel, raster in a.feature_maps.items():
+                assert np.array_equal(b.feature_maps[channel], raster), channel
+
+    def test_direct_template_kind_validation(self, settings):
+        with pytest.raises(ValueError):
+            synthesize_case("bogus", 1, settings=settings,
+                            template=GridTemplateSpec("fake", 3))
 
 
 class TestCaseIO:

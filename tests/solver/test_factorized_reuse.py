@@ -1,0 +1,136 @@
+"""Template-shared factorisation must be invisible in the numbers.
+
+Cases instantiated from one :class:`PDNTemplate` are solved against a
+single cached :class:`FactorizedPDN`; these tests pin that path to
+independent per-case ``solve_static_ir`` calls at 1e-10, and show the
+guarantee survives cache eviction and refactorisation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis import (
+    GridTemplateSpec,
+    SynthesisSettings,
+    _build_template_runtime,
+    _case_load_draws,
+    synthesize_case,
+)
+from repro.pdn.generator import instantiate_pdn_case
+from repro.solver.factorized import FactorizedCache, FactorizedPDN
+from repro.solver.static import solve_static_ir
+
+from dataclasses import replace
+
+SETTINGS = SynthesisSettings(edge_um_range=(26.0, 30.0))
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return _build_template_runtime(GridTemplateSpec("real", 314), SETTINGS)
+
+
+def _instantiated_case(runtime, case_seed):
+    rng = np.random.default_rng(case_seed)
+    hotspots, background, fraction = _case_load_draws("real", rng)
+    config = replace(runtime.template.config, hotspots=hotspots,
+                     background=background, current_fraction=fraction)
+    return instantiate_pdn_case(runtime.template, config, rng,
+                                name=f"case{case_seed}")
+
+
+class TestSharedFactorizationParity:
+    def test_matches_independent_solves(self, runtime):
+        """Shared-engine solves == fresh per-case factorisation, 1e-10."""
+        for case_seed in (1, 2, 3):
+            case = _instantiated_case(runtime, case_seed)
+            shared = runtime.engine.solve(case.netlist.current_sources)
+            independent = solve_static_ir(case.netlist)
+            assert shared.node_voltages.keys() == independent.node_voltages.keys()
+            worst = max(
+                abs(shared.node_voltages[node] - independent.node_voltages[node])
+                for node in independent.node_voltages
+            )
+            assert worst < 1e-10
+            assert shared.worst_drop == pytest.approx(
+                independent.worst_drop, abs=1e-10)
+
+    def test_cases_differ_across_seeds(self, runtime):
+        """Template reuse must not collapse the load distribution."""
+        a = _instantiated_case(runtime, 1)
+        b = _instantiated_case(runtime, 2)
+        assert ([s.spice_line() for s in a.netlist.current_sources]
+                != [s.spice_line() for s in b.netlist.current_sources])
+
+    def test_grid_elements_shared_not_copied(self, runtime):
+        a = _instantiated_case(runtime, 1)
+        assert a.netlist.resistors[0] is runtime.template.netlist.resistors[0]
+        assert a.netlist.current_sources  # loads are case-owned
+        assert not runtime.template.netlist.current_sources
+
+
+class TestCacheEviction:
+    def test_results_identical_after_evict_and_refactor(self):
+        """A maxsize-1 cache thrashing between two templates must still
+        reproduce the warm-cache results bit-for-bit."""
+        template_a = GridTemplateSpec("fake", 41)
+        template_b = GridTemplateSpec("real", 42)
+        tiny = FactorizedCache(maxsize=1)
+        warm = FactorizedCache(maxsize=4)
+
+        def build(cache, case_seed, template):
+            return synthesize_case(template.kind, case_seed,
+                                   settings=SETTINGS, template=template,
+                                   template_cache=cache)
+
+        # interleave so the tiny cache evicts and refactors every time
+        thrash = [build(tiny, seed, template)
+                  for seed in (100, 101)
+                  for template in (template_a, template_b)]
+        steady = [build(warm, seed, template)
+                  for seed in (100, 101)
+                  for template in (template_a, template_b)]
+
+        assert tiny.evictions >= 2
+        assert warm.evictions == 0
+        assert tiny.misses > warm.misses
+        for thrashed, cached in zip(thrash, steady):
+            assert thrashed.name == cached.name
+            assert np.array_equal(thrashed.ir_map, cached.ir_map)
+            for channel, raster in cached.feature_maps.items():
+                assert np.array_equal(thrashed.feature_maps[channel],
+                                      raster), channel
+
+    def test_disabled_cache_always_rebuilds(self):
+        cache = FactorizedCache(maxsize=0)
+        spec = GridTemplateSpec("fake", 7)
+        first = synthesize_case("fake", 1, settings=SETTINGS, template=spec,
+                                template_cache=cache)
+        second = synthesize_case("fake", 1, settings=SETTINGS, template=spec,
+                                 template_cache=cache)
+        assert cache.misses == 2 and cache.hits == 0 and len(cache) == 0
+        assert np.array_equal(first.ir_map, second.ir_map)
+
+    def test_lru_bookkeeping(self):
+        cache = FactorizedCache(maxsize=2)
+        build_log = []
+
+        def builder(key):
+            def _build():
+                build_log.append(key)
+                return key * 10
+            return _build
+
+        assert cache.get_or_build(1, builder(1)) == 10
+        assert cache.get_or_build(2, builder(2)) == 20
+        assert cache.get_or_build(1, builder(1)) == 10   # hit, refreshes 1
+        assert cache.get_or_build(3, builder(3)) == 30   # evicts 2
+        assert 2 not in cache and 1 in cache and 3 in cache
+        assert cache.get_or_build(2, builder(2)) == 20   # rebuilt
+        assert build_log == [1, 2, 3, 2]
+        assert cache.stats() == {"hits": 1, "misses": 4,
+                                 "evictions": 2, "entries": 2}
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            FactorizedCache(maxsize=-1)
