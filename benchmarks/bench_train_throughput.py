@@ -1,0 +1,196 @@
+"""Extra experiment — training/eval loop throughput (PR-3 engine).
+
+With synthesis made cheap (PR-1/2), Table-III reproduction time is
+dominated by the training/eval loop.  Three claims are asserted or
+recorded here, each with a parity check so speed never changes results:
+
+* **Epoch-cached preprocessing**: a multi-epoch, oversampled
+  ``BatchLoader`` run with the deterministic-stage LRU must beat the
+  recompute-every-draw path by >= 2x, and with augmentation off the two
+  paths must yield bit-identical batches.
+* **Batched TTA inference**: one ``(S, C, E, E)`` forward per case must
+  beat S batch-1 forwards by >= 1.5x, with predictions within 1e-10.
+* **Parallel model comparison**: ``run_comparison(workers=N)`` must score
+  every model identically to the sequential run (wall-clock recorded,
+  not asserted — shared CI runners make process-pool timing unreliable).
+
+Speedups land in ``benchmarks/artifacts/train_throughput.json`` so CI can
+track the perf trajectory per PR.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.core.pipeline import IRPredictor
+from repro.core.registry import MODEL_REGISTRY
+from repro.data.dataset import IRDropDataset
+from repro.data.synthesis import SynthesisSettings, make_suite, synthesize_case
+from repro.eval.harness import EvalConfig, run_comparison
+from repro.train.loader import BatchLoader, CasePreprocessor
+from repro.train.seed import seed_everything
+from repro.train.trainer import TrainConfig, Trainer
+
+EPOCHS = 4
+OVERSAMPLE = 8
+TTA_SAMPLES = 8
+_SETTINGS = SynthesisSettings(edge_um_range=(40.0, 44.0))
+
+_RESULTS: dict = {}
+
+
+def _record(artifact_dir: str, key: str, payload: dict) -> None:
+    """Accumulate one benchmark's numbers into the shared JSON artifact."""
+    _RESULTS[key] = payload
+    path = os.path.join(artifact_dir, "train_throughput.json")
+    with open(path, "w") as handle:
+        json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _training_cases():
+    return [synthesize_case("fake", seed=7000 + i, settings=_SETTINGS)
+            for i in range(3)]
+
+
+def _drain(loader: BatchLoader) -> float:
+    """Wall-clock seconds to iterate ``EPOCHS`` epochs of a loader."""
+    start = time.perf_counter()
+    for _ in range(EPOCHS):
+        for _batch in loader:
+            pass
+    return time.perf_counter() - start
+
+
+def test_epoch_cache_speedup(artifact_dir):
+    """Cached deterministic preprocessing must beat recompute by >= 2x."""
+    cases = _training_cases()
+    preprocessor = CasePreprocessor(target_edge=32, num_points=64)
+    preprocessor.fit(cases)
+    dataset = IRDropDataset.with_oversampling(cases, fake_times=OVERSAMPLE)
+    kwargs = dict(batch_size=4, augment=True, seed=1)
+
+    # warm-up: page in code paths and the per-bundle point-cloud cache,
+    # which both variants share
+    _drain(BatchLoader(dataset, preprocessor, cache=False, **kwargs))
+
+    uncached_s = _drain(BatchLoader(dataset, preprocessor, cache=False, **kwargs))
+    cached_s = _drain(BatchLoader(dataset, preprocessor, cache=True, **kwargs))
+
+    # parity: with augmentation off, cached epochs are bit-identical
+    clean_kwargs = dict(batch_size=4, augment=False, seed=2)
+    cached_loader = BatchLoader(dataset, preprocessor, cache=True, **clean_kwargs)
+    uncached_loader = BatchLoader(dataset, preprocessor, cache=False, **clean_kwargs)
+    for _ in range(2):
+        for a, b in zip(cached_loader, uncached_loader):
+            assert np.array_equal(a.features.data, b.features.data)
+            assert np.array_equal(a.points.data, b.points.data)
+            assert np.array_equal(a.targets.data, b.targets.data)
+            assert np.array_equal(a.masks, b.masks)
+
+    speedup = uncached_s / max(cached_s, 1e-9)
+    draws = EPOCHS * len(dataset)
+    text = (
+        "Training loop: epoch-cached deterministic preprocessing "
+        f"({len(cases)} cases x{OVERSAMPLE} oversampling, {EPOCHS} epochs "
+        f"= {draws} draws):\n"
+        f"  recompute every draw: {uncached_s * 1e3:8.1f} ms\n"
+        f"  cached deterministic: {cached_s * 1e3:8.1f} ms\n"
+        f"  speedup:              {speedup:8.1f}x"
+    )
+    emit(artifact_dir, "train_throughput_epoch.txt", text)
+    _record(artifact_dir, "epoch_cache", {
+        "uncached_seconds": uncached_s, "cached_seconds": cached_s,
+        "speedup": speedup, "draws": draws,
+    })
+    assert speedup >= 2.0
+
+
+def test_batched_tta_speedup(artifact_dir):
+    """One (S, ...) TTA forward must beat S batch-1 forwards by >= 1.5x."""
+    cases = _training_cases()
+    preprocessor = CasePreprocessor(target_edge=32, num_points=64,
+                                    use_pointcloud=False,
+                                    channels=MODEL_REGISTRY["IREDGe"].channels)
+    preprocessor.fit(cases)
+    seed_everything(0)
+    model = MODEL_REGISTRY["IREDGe"].build()
+    Trainer(model, preprocessor,
+            TrainConfig(epochs=1, batch_size=2)).fit(cases)
+
+    batched = IRPredictor(model, preprocessor, tta_samples=TTA_SAMPLES,
+                          batched=True)
+    sequential = IRPredictor(model, preprocessor, tta_samples=TTA_SAMPLES,
+                             batched=False)
+    batched.predict_case(cases[0])     # warm-up both execution paths
+    sequential.predict_case(cases[0])
+
+    worst_delta = 0.0
+    batched_s = sequential_s = 0.0
+    for case in cases:
+        fast_map, fast_tat = batched.predict_case(case)
+        slow_map, slow_tat = sequential.predict_case(case)
+        batched_s += fast_tat
+        sequential_s += slow_tat
+        worst_delta = max(worst_delta, float(np.abs(fast_map - slow_map).max()))
+
+    speedup = sequential_s / max(batched_s, 1e-9)
+    text = (
+        f"TTA inference ({TTA_SAMPLES} samples/case, {len(cases)} cases):\n"
+        f"  per-sample forwards: {sequential_s * 1e3:8.1f} ms\n"
+        f"  one batched forward: {batched_s * 1e3:8.1f} ms\n"
+        f"  speedup:             {speedup:8.1f}x\n"
+        f"  worst |delta|:       {worst_delta:.3e}"
+    )
+    emit(artifact_dir, "train_throughput_tta.txt", text)
+    _record(artifact_dir, "batched_tta", {
+        "sequential_seconds": sequential_s, "batched_seconds": batched_s,
+        "speedup": speedup, "worst_abs_delta": worst_delta,
+        "tta_samples": TTA_SAMPLES,
+    })
+    assert worst_delta <= 1e-10
+    assert speedup >= 1.5
+
+
+def test_parallel_comparison_parity(artifact_dir):
+    """run_comparison must score identically for any worker count."""
+    suite = make_suite(num_fake=2, num_real=1, num_hidden=2, seed=12,
+                       settings=_SETTINGS)
+    config = EvalConfig(target_edge=16, num_points=32, epochs=1,
+                        pretrain_epochs=0, batch_size=2)
+    names = ["IREDGe", "IRPnet"]
+
+    start = time.perf_counter()
+    sequential = run_comparison(suite, names, config, reference="IREDGe",
+                                workers=1)
+    sequential_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_comparison(suite, names, config, reference="IREDGe",
+                              workers=2)
+    parallel_s = time.perf_counter() - start
+
+    for name in names:
+        for a, b in zip(sequential.per_model[name], parallel.per_model[name]):
+            assert a.case_name == b.case_name
+            assert a.f1 == b.f1, (name, a.case_name)
+            assert a.mae == b.mae, (name, a.case_name)
+        assert sequential.ratios[name]["f1"] == parallel.ratios[name]["f1"]
+        assert sequential.ratios[name]["mae"] == parallel.ratios[name]["mae"]
+
+    speedup = sequential_s / max(parallel_s, 1e-9)
+    text = (
+        f"Model comparison ({len(names)} models, workers=2):\n"
+        f"  sequential: {sequential_s * 1e3:8.1f} ms\n"
+        f"  parallel:   {parallel_s * 1e3:8.1f} ms\n"
+        f"  speedup:    {speedup:8.2f}x (informative: pool spawn cost "
+        "dominates at toy scale)\n"
+        "  scores: bit-identical for any worker count"
+    )
+    emit(artifact_dir, "train_throughput_comparison.txt", text)
+    _record(artifact_dir, "parallel_comparison", {
+        "sequential_seconds": sequential_s, "parallel_seconds": parallel_s,
+        "speedup": speedup, "models": names, "scores_identical": True,
+    })

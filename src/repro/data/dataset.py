@@ -129,6 +129,13 @@ class LazyCase:
         return self._ref
 
     @property
+    def directory(self) -> str:
+        """On-disk home of this case — its stable identity for caches
+        (e.g. :class:`repro.train.loader.PreparedCaseCache`), independent
+        of bundle eviction and of which facade object wraps it."""
+        return self._directory
+
+    @property
     def name(self) -> str:
         return self._ref.name
 
@@ -206,6 +213,26 @@ class ShardedSuiteDataset:
 
     def cases_of_kind(self, kind: str) -> List[LazyCase]:
         return [case for case in self._cases if case.kind == kind]
+
+    @property
+    def fake_cases(self) -> List[LazyCase]:
+        """Fake cases, mirroring ``BenchmarkSuite.fake_cases``."""
+        return self.cases_of_kind("fake")
+
+    @property
+    def real_cases(self) -> List[LazyCase]:
+        """Real cases, mirroring ``BenchmarkSuite.real_cases``."""
+        return self.cases_of_kind("real")
+
+    @property
+    def hidden_cases(self) -> List[LazyCase]:
+        """Hidden testcases, mirroring ``BenchmarkSuite.hidden_cases``.
+
+        Together with :attr:`training_cases` this gives the dataset the
+        full ``BenchmarkSuite`` split interface, so the evaluation harness
+        can score a streamed suite without ever materialising it.
+        """
+        return self.cases_of_kind("hidden")
 
     @property
     def training_cases(self) -> List[LazyCase]:

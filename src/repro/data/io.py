@@ -58,7 +58,8 @@ from repro.spice.parser import parse_spice_file
 from repro.spice.writer import write_spice_file
 
 __all__ = [
-    "write_case", "read_case", "CHANNEL_FILES", "FLOAT_ROUNDTRIP_RTOL",
+    "write_case", "read_case", "case_is_complete",
+    "CHANNEL_FILES", "FLOAT_ROUNDTRIP_RTOL",
     "CaseRef", "SuiteManifest", "MANIFEST_FORMAT",
     "manifest_filename", "write_manifest", "read_manifest", "merge_manifests",
 ]
@@ -123,6 +124,28 @@ def read_case(directory: str) -> CaseBundle:
         ir_map=ir_map,
         metadata=meta.get("metadata", {}),
     )
+
+
+def case_is_complete(directory: str, name: str, kind: str) -> bool:
+    """Whether ``directory`` holds a finished :func:`write_case` output.
+
+    :func:`write_case` writes ``meta.json`` last, so a readable meta file
+    whose identity matches ``(name, kind)`` marks a complete case; a build
+    killed mid-case leaves no (or a stale) meta and the case is redone.
+    The golden map and netlist are checked as a cheap extra guard.
+    Resumable :func:`repro.data.synthesis.stream_suite` builds use this to
+    skip already-written case directories.
+    """
+    meta_path = os.path.join(directory, _META_FILE)
+    try:
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    if meta.get("name") != name or meta.get("kind") != kind:
+        return False
+    return (os.path.exists(os.path.join(directory, _IR_FILE))
+            and os.path.exists(os.path.join(directory, _NETLIST_FILE)))
 
 
 # ----------------------------------------------------------------------

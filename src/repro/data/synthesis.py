@@ -45,7 +45,9 @@ from repro.data.case import CaseBundle
 from repro.data.io import (
     CaseRef,
     SuiteManifest,
+    case_is_complete,
     manifest_filename,
+    read_manifest,
     write_case,
     write_manifest,
 )
@@ -574,18 +576,37 @@ def _case_dirname(index: int, name: str) -> str:
     return f"case{index:05d}_{name}"
 
 
+def _spec_case_name(spec: CaseSpec) -> str:
+    """The name :func:`synthesize_case` will give the case — known up
+    front, so resumable builds can locate a case dir without solving."""
+    return spec.name or f"{spec.kind}_{spec.seed}"
+
+
 def _synthesize_group_to_dir(
-    task: Tuple[List[IndexedSpec], SynthesisSettings, str],
+    task: Tuple[List[IndexedSpec], SynthesisSettings, str, bool],
 ) -> List[CaseRef]:
     """Streamed process-pool entry point: write each case as it completes,
-    hand back only manifest refs (never a pickled bundle)."""
-    group, settings, out_dir = task
+    hand back only manifest refs (never a pickled bundle).
+
+    With ``resume`` set, a case whose directory already holds a complete
+    write (verified by meta identity — see
+    :func:`repro.data.io.case_is_complete`) is skipped: its ref is emitted
+    straight from the spec and the existing files are left untouched, so a
+    killed build picks up where it stopped and still merges bit-identically.
+    """
+    group, settings, out_dir, resume = task
     refs = []
     for index, spec in group:
+        name = _spec_case_name(spec)
+        dirname = _case_dirname(index, name)
+        if resume and case_is_complete(os.path.join(out_dir, dirname),
+                                       name, spec.kind):
+            refs.append(CaseRef(index=index, name=name,
+                                kind=spec.kind, path=dirname))
+            continue
         bundle = synthesize_case(spec.kind, spec.seed, settings=settings,
                                  name=spec.name, edge_um=spec.edge_um,
                                  template=spec.template)
-        dirname = _case_dirname(index, bundle.name)
         write_case(bundle, os.path.join(out_dir, dirname))
         refs.append(CaseRef(index=index, name=bundle.name,
                             kind=bundle.kind, path=dirname))
@@ -646,6 +667,7 @@ def stream_suite(
     workers: int = 1,
     shard: Optional[Tuple[int, int]] = None,
     cases_per_template: int = 1,
+    resume: bool = False,
 ) -> SuiteManifest:
     """Build a suite (or one shard of it) straight to disk.
 
@@ -658,8 +680,37 @@ def stream_suite(
     :func:`repro.data.io.merge_manifests` into exactly the single-build
     ordering, and the result is bit-identical for any ``workers``/``shard``
     configuration.
+
+    ``resume=True`` makes the build restartable: case directories that
+    already contain a complete, identity-verified write are skipped (their
+    refs come from the deterministic spec list), partially written cases
+    are regenerated, and the resulting manifest — and any merge of shard
+    manifests — is bit-identical to an uninterrupted build.  Case names
+    fix the RNG seed but not the synthesis settings, so every build stamps
+    its provenance (an empty-refs manifest) *before* the first case is
+    written; a resume over a directory whose recorded build — finished or
+    killed — used different settings or suite identity refuses rather
+    than silently mixing provenances.
     """
     settings = settings or SynthesisSettings()
+    suite_ident = {
+        "seed": int(seed),
+        "num_fake": int(num_fake),
+        "num_real": int(num_real),
+        "num_hidden": int(num_hidden),
+        "cases_per_template": int(cases_per_template),
+    }
+    shard_ident = None if shard is None else (int(shard[0]), int(shard[1]))
+    manifest_path = os.path.join(out_dir, manifest_filename(shard))
+    if resume and os.path.exists(manifest_path):
+        previous = read_manifest(manifest_path)
+        if (previous.suite != suite_ident
+                or previous.settings != _settings_payload(settings)):
+            raise ValueError(
+                f"{manifest_path!r} records a different build "
+                "(suite identity or settings changed); refusing to resume "
+                "over its case directories — use a fresh out_dir"
+            )
     specs = suite_case_specs(num_fake, num_real, num_hidden, seed, settings,
                              cases_per_template=cases_per_template)
     indexed = list(enumerate(specs))
@@ -668,7 +719,15 @@ def stream_suite(
     groups = _template_groups(indexed)
 
     os.makedirs(out_dir, exist_ok=True)
-    tasks = [(group, settings, out_dir) for group in groups]
+    # provenance stamp: if this build dies before finishing, the partial
+    # directory still records what was being built, so a later resume can
+    # verify it is continuing the same build
+    write_manifest(SuiteManifest(suite=suite_ident,
+                                 settings=_settings_payload(settings),
+                                 refs=[], shard=shard_ident,
+                                 root=os.path.abspath(out_dir)),
+                   manifest_path)
+    tasks = [(group, settings, out_dir, resume) for group in groups]
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             ref_lists = list(pool.map(_synthesize_group_to_dir, tasks))
@@ -677,19 +736,13 @@ def stream_suite(
     refs = [ref for ref_list in ref_lists for ref in ref_list]
 
     manifest = SuiteManifest(
-        suite={
-            "seed": int(seed),
-            "num_fake": int(num_fake),
-            "num_real": int(num_real),
-            "num_hidden": int(num_hidden),
-            "cases_per_template": int(cases_per_template),
-        },
+        suite=suite_ident,
         settings=_settings_payload(settings),
         refs=refs,
-        shard=None if shard is None else (int(shard[0]), int(shard[1])),
+        shard=shard_ident,
         root=os.path.abspath(out_dir),
     )
-    write_manifest(manifest, os.path.join(out_dir, manifest_filename(shard)))
+    write_manifest(manifest, manifest_path)
     return manifest
 
 

@@ -4,26 +4,44 @@ hidden suite, producing the data behind the paper's Table III.
 Scale is controlled by :class:`EvalConfig`; the ``REPRO_EVAL_*``
 environment variables let the benchmark runner trade fidelity for time
 (see EXPERIMENTS.md for the settings used in the recorded runs).
+
+The harness accepts its suite in any of three forms — an in-memory
+:class:`~repro.data.synthesis.BenchmarkSuite`, a lazily loaded
+:class:`~repro.data.dataset.ShardedSuiteDataset`, or a manifest path /
+:class:`~repro.data.io.SuiteManifest` from a streamed build — so
+evaluation never has to materialise a large suite.  ``workers > 1`` fans
+the per-model train+eval jobs of :func:`run_comparison` out over a
+process pool; every model seeds its own RNG state from the config, so
+the results are identical to the sequential run for any worker count
+(wall-clock ``train_seconds``/TAT aside — those are timings, not data).
 """
 
 from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import IRPredictor
 from repro.core.registry import MODEL_REGISTRY, ModelSpec
-from repro.data.dataset import IRDropDataset
+from repro.data.dataset import IRDropDataset, ShardedSuiteDataset
+from repro.data.io import SuiteManifest, manifest_filename
 from repro.data.synthesis import BenchmarkSuite
 from repro.metrics.report import CaseMetrics, average_metrics, metric_ratios, score_case
 from repro.train.loader import CasePreprocessor
 from repro.train.seed import seed_everything
 from repro.train.trainer import TrainConfig, Trainer
 
-__all__ = ["EvalConfig", "ComparisonResult", "train_predictor",
-           "evaluate_predictor", "run_comparison"]
+__all__ = ["EvalConfig", "ComparisonResult", "SuiteSource", "resolve_suite",
+           "train_predictor", "evaluate_predictor", "run_comparison"]
+
+SuiteSource = Union[BenchmarkSuite, ShardedSuiteDataset, SuiteManifest,
+                    str, "os.PathLike[str]"]
+"""Anything the harness can evaluate against: an in-memory suite, a lazy
+sharded dataset, a loaded manifest, or a manifest path (a directory is
+taken to contain ``manifest.json``)."""
 
 
 @dataclass
@@ -47,12 +65,22 @@ class EvalConfig:
         def env_int(name: str, default: int) -> int:
             return int(os.environ.get(name, default))
 
+        def env_float(name: str, default: float) -> float:
+            return float(os.environ.get(name, default))
+
         config = cls(
             target_edge=env_int("REPRO_EVAL_EDGE", cls.target_edge),
             num_points=env_int("REPRO_EVAL_POINTS", cls.num_points),
             epochs=env_int("REPRO_EVAL_EPOCHS", cls.epochs),
             pretrain_epochs=env_int("REPRO_EVAL_PRETRAIN", cls.pretrain_epochs),
             batch_size=env_int("REPRO_EVAL_BATCH", cls.batch_size),
+            lr=env_float("REPRO_EVAL_LR", cls.lr),
+            fake_oversample=env_int("REPRO_EVAL_FAKE_OVERSAMPLE",
+                                    cls.fake_oversample),
+            real_oversample=env_int("REPRO_EVAL_REAL_OVERSAMPLE",
+                                    cls.real_oversample),
+            hotspot_weight=env_float("REPRO_EVAL_HOTSPOT_WEIGHT",
+                                     cls.hotspot_weight),
             seed=env_int("REPRO_EVAL_SEED", cls.seed),
         )
         for key, value in overrides.items():
@@ -71,16 +99,72 @@ class ComparisonResult:
     case_names: List[str] = field(default_factory=list)
 
 
-def _training_cases(spec: ModelSpec, suite: BenchmarkSuite) -> list:
+# ----------------------------------------------------------------------
+# Suite sources
+# ----------------------------------------------------------------------
+def resolve_suite(source: SuiteSource):
+    """Normalise any :data:`SuiteSource` to a split-interface object.
+
+    The result exposes ``fake_cases`` / ``real_cases`` / ``hidden_cases``
+    / ``training_cases`` — satisfied by :class:`BenchmarkSuite` natively
+    and by :class:`ShardedSuiteDataset` via its lazy kind views.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        if os.path.isdir(path):
+            path = os.path.join(path, manifest_filename())
+        return ShardedSuiteDataset(path)
+    if isinstance(source, SuiteManifest):
+        return ShardedSuiteDataset(source)
+    return source
+
+
+def _suite_payload(source: SuiteSource):
+    """The cheapest picklable handle on a suite for pool workers.
+
+    Manifest-backed sources travel as the manifest (refs only — workers
+    re-open the case files lazily); in-memory suites have no smaller
+    representation and are pickled whole.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        return os.fspath(source)
+    if isinstance(source, ShardedSuiteDataset):
+        return source.manifest
+    return source
+
+
+def _resolve_payload(payload):
+    """Worker-side counterpart of :func:`resolve_suite`.
+
+    Completeness was already enforced (or deliberately waived) when the
+    parent resolved the original source, so workers rebuild manifest-backed
+    datasets permissively — a ``require_complete=False`` dataset must
+    behave the same under ``workers=1`` and ``workers=N``.
+    """
+    if isinstance(payload, (str, os.PathLike)):
+        path = os.fspath(payload)
+        if os.path.isdir(path):
+            path = os.path.join(path, manifest_filename())
+        return ShardedSuiteDataset(path, require_complete=False)
+    if isinstance(payload, SuiteManifest):
+        return ShardedSuiteDataset(payload, require_complete=False)
+    return payload
+
+
+def _training_cases(spec: ModelSpec, suite) -> list:
     if spec.train_on == "real_only":
         return list(suite.real_cases)
     return list(suite.training_cases)
 
 
-def train_predictor(spec_name: str, suite: BenchmarkSuite,
+# ----------------------------------------------------------------------
+# Train / evaluate
+# ----------------------------------------------------------------------
+def train_predictor(spec_name: str, suite: SuiteSource,
                     config: Optional[EvalConfig] = None) -> Tuple[IRPredictor, float]:
     """Train one registered model under its paper-documented regime."""
     config = config or EvalConfig()
+    suite = resolve_suite(suite)
     spec = MODEL_REGISTRY[spec_name]
     seed_everything(config.seed)
     model = spec.build()
@@ -118,25 +202,60 @@ def train_predictor(spec_name: str, suite: BenchmarkSuite,
 
 def evaluate_predictor(predictor: IRPredictor,
                        cases: Sequence) -> List[CaseMetrics]:
-    """Score a predictor on a list of cases (the 10 hidden testcases)."""
-    rows = []
-    for case in cases:
-        predicted, tat = predictor.predict_case(case)
-        rows.append(score_case(case.name, predicted, case.ir_map, tat))
-    return rows
+    """Score a predictor on a list of cases (the 10 hidden testcases).
+
+    Uses :meth:`IRPredictor.predict_many`, so same-shape cases share
+    batched forwards while each row keeps its own TAT.
+    """
+    return [
+        score_case(case.name, predicted, case.ir_map, tat)
+        for case, (predicted, tat) in zip(cases,
+                                          predictor.predict_many(list(cases)))
+    ]
 
 
-def run_comparison(suite: BenchmarkSuite, model_names: Sequence[str],
+def _train_and_score(task: Tuple[str, object, EvalConfig],
+                     ) -> Tuple[str, List[CaseMetrics], float]:
+    """Pool entry point (module-level so it pickles): one model's column."""
+    name, payload, config = task
+    suite = _resolve_payload(payload)
+    predictor, elapsed = train_predictor(name, suite, config)
+    return name, evaluate_predictor(predictor, suite.hidden_cases), elapsed
+
+
+def run_comparison(suite: SuiteSource, model_names: Sequence[str],
                    config: Optional[EvalConfig] = None,
-                   reference: Optional[str] = None) -> ComparisonResult:
-    """Train + evaluate every requested model (the full Table III flow)."""
+                   reference: Optional[str] = None,
+                   workers: int = 1) -> ComparisonResult:
+    """Train + evaluate every requested model (the full Table III flow).
+
+    ``workers > 1`` trains the models concurrently in a process pool.
+    Every model's training is seeded independently (``seed_everything``
+    inside :func:`train_predictor`) and TTA noise is per-case, so the
+    scores are identical to a sequential run for any worker count; only
+    the wall-clock ``train_seconds``/``tat_seconds`` values differ, as
+    between any two runs.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     config = config or EvalConfig()
+    resolved = resolve_suite(suite)
+
+    if workers > 1 and len(model_names) > 1:
+        # workers get the cheapest picklable handle and re-resolve it
+        tasks = [(name, _suite_payload(suite), config) for name in model_names]
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            columns = list(pool.map(_train_and_score, tasks))
+    else:
+        # sequential models share the already-resolved suite (and its
+        # bundle LRU, for manifest-backed sources)
+        columns = [_train_and_score((name, resolved, config))
+                   for name in model_names]
+
     per_model: Dict[str, List[CaseMetrics]] = {}
     averages: Dict[str, CaseMetrics] = {}
     train_seconds: Dict[str, float] = {}
-    for name in model_names:
-        predictor, elapsed = train_predictor(name, suite, config)
-        rows = evaluate_predictor(predictor, suite.hidden_cases)
+    for name, rows, elapsed in columns:
         per_model[name] = rows
         averages[name] = average_metrics(rows)
         train_seconds[name] = elapsed
@@ -146,5 +265,5 @@ def run_comparison(suite: BenchmarkSuite, model_names: Sequence[str],
         averages=averages,
         ratios=metric_ratios(averages, reference),
         train_seconds=train_seconds,
-        case_names=[case.name for case in suite.hidden_cases],
+        case_names=[case.name for case in resolved.hidden_cases],
     )

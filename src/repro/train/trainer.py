@@ -21,7 +21,13 @@ from repro.nn.losses import masked_mse
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.train.callbacks import Callback
-from repro.train.loader import Batch, BatchLoader, CasePreprocessor
+from repro.train.loader import (
+    Batch,
+    BatchLoader,
+    CasePreprocessor,
+    DEFAULT_CACHE_SIZE,
+    PreparedCaseCache,
+)
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer"]
 
@@ -39,6 +45,9 @@ class TrainConfig:
     sigma_range: Tuple[float, float] = PAPER_SIGMA_RANGE
     grad_clip: float = 5.0
     seed: int = 0
+    preprocess_cache: int = DEFAULT_CACHE_SIZE
+    """Bound of the deterministic-preprocessing LRU shared by both training
+    stages (0 disables caching and recomputes every draw)."""
     hotspot_weight: float = 0.0
     """Extra MSE weight on high-drop pixels: weight = 1 + w·(t/t_max)².
 
@@ -51,6 +60,8 @@ class TrainConfig:
             raise ValueError("need at least one fine-tune epoch")
         if self.pretrain_epochs < 0:
             raise ValueError("pretrain_epochs must be >= 0")
+        if self.preprocess_cache < 0:
+            raise ValueError("preprocess_cache must be >= 0")
 
 
 @dataclass
@@ -84,26 +95,32 @@ class Trainer:
         config = self.config
         history = TrainHistory()
         supports_recon = getattr(self.model, "recon_head", None) is not None
+        # one deterministic-stage cache spans both stages: the pretrain and
+        # fine-tune loaders draw the same cases, differing only in noise
+        cache = (PreparedCaseCache(config.preprocess_cache)
+                 if config.preprocess_cache else None)
 
         if config.pretrain_epochs and supports_recon:
-            loader = self._loader(cases, seed=config.seed)
+            loader = self._loader(cases, seed=config.seed, cache=cache)
             history.pretrain_losses = self._run_stage(
                 "pretrain", loader, config.pretrain_epochs
             )
-        loader = self._loader(cases, seed=config.seed + 1)
+        loader = self._loader(cases, seed=config.seed + 1, cache=cache)
         history.finetune_losses = self._run_stage(
             "finetune", loader, config.epochs
         )
         return history
 
     # ------------------------------------------------------------------
-    def _loader(self, cases: Sequence[CaseBundle], seed: int) -> BatchLoader:
+    def _loader(self, cases: Sequence[CaseBundle], seed: int,
+                cache: Optional[PreparedCaseCache] = None) -> BatchLoader:
         return BatchLoader(
             cases, self.preprocessor,
             batch_size=self.config.batch_size,
             augment=self.config.augment,
             sigma_range=self.config.sigma_range,
             seed=seed,
+            cache=cache if cache is not None else False,
         )
 
     def _run_stage(self, stage: str, loader: BatchLoader, epochs: int) -> List[float]:
@@ -128,9 +145,12 @@ class Trainer:
         optimizer.zero_grad()
         if stage == "pretrain":
             prediction = self.model(batch.features, batch.points, head="recon")
-            # denoising target: the clean (un-noised) normalised stack
+            # denoising target: the clean (un-noised) normalised stack,
+            # carried on each PreparedCase so it is never recomputed
             clean = np.stack([
-                self.preprocessor.prepare(p.case).features for p in batch.prepared
+                p.clean_features if p.clean_features is not None
+                else self.preprocessor.prepare(p.case).features
+                for p in batch.prepared
             ])
             target = nn.Tensor(clean)
             mask = np.broadcast_to(batch.masks, clean.shape)

@@ -43,6 +43,35 @@ class TestEvalConfig:
         config = EvalConfig.from_env(epochs=3)
         assert config.epochs == 3
 
+    def test_from_env_round_trips_every_field(self, monkeypatch):
+        """Every EvalConfig field is settable from the environment."""
+        reference = EvalConfig(
+            target_edge=24, num_points=48, epochs=5, pretrain_epochs=1,
+            batch_size=3, lr=2.5e-4, fake_oversample=2, real_oversample=7,
+            hotspot_weight=3.5, seed=9,
+        )
+        env = {
+            "REPRO_EVAL_EDGE": "24", "REPRO_EVAL_POINTS": "48",
+            "REPRO_EVAL_EPOCHS": "5", "REPRO_EVAL_PRETRAIN": "1",
+            "REPRO_EVAL_BATCH": "3", "REPRO_EVAL_LR": "2.5e-4",
+            "REPRO_EVAL_FAKE_OVERSAMPLE": "2",
+            "REPRO_EVAL_REAL_OVERSAMPLE": "7",
+            "REPRO_EVAL_HOTSPOT_WEIGHT": "3.5", "REPRO_EVAL_SEED": "9",
+        }
+        for name, value in env.items():
+            monkeypatch.setenv(name, value)
+        assert EvalConfig.from_env() == reference
+
+    def test_from_env_float_fields_parse_floats(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_LR", "1e-2")
+        monkeypatch.setenv("REPRO_EVAL_HOTSPOT_WEIGHT", "0.25")
+        config = EvalConfig.from_env()
+        assert config.lr == pytest.approx(1e-2)
+        assert config.hotspot_weight == pytest.approx(0.25)
+        # and the untouched fields keep their defaults
+        assert config.fake_oversample == EvalConfig.fake_oversample
+        assert config.real_oversample == EvalConfig.real_oversample
+
 
 class TestHarness:
     def test_train_and_evaluate_ours(self, suite):
@@ -68,6 +97,77 @@ class TestHarness:
                                        "mae": pytest.approx(1.0),
                                        "tat": pytest.approx(1.0)}
         assert result.case_names == [c.name for c in suite.hidden_cases]
+
+    def test_run_comparison_workers_validated(self, suite):
+        with pytest.raises(ValueError):
+            run_comparison(suite, ["IREDGe"], TINY, workers=0)
+
+
+class TestManifestHarness:
+    """The harness path that never materialises the suite (PR-3)."""
+
+    @pytest.fixture(scope="class")
+    def streamed(self, tmp_path_factory):
+        from repro.data.synthesis import SynthesisSettings, stream_suite
+
+        out_dir = tmp_path_factory.mktemp("eval_streamed")
+        manifest = stream_suite(
+            str(out_dir), num_fake=2, num_real=1, num_hidden=2, seed=12,
+            settings=SynthesisSettings())
+        return out_dir, manifest
+
+    def test_manifest_path_dataset_and_dir_agree(self, streamed):
+        out_dir, manifest = streamed
+        from repro.data.dataset import ShardedSuiteDataset
+
+        by_path = run_comparison(str(out_dir / "manifest.json"), ["IREDGe"],
+                                 TINY, reference="IREDGe")
+        by_dir = run_comparison(str(out_dir), ["IREDGe"], TINY,
+                                reference="IREDGe")
+        by_dataset = run_comparison(ShardedSuiteDataset(manifest), ["IREDGe"],
+                                    TINY, reference="IREDGe")
+        rows = by_path.per_model["IREDGe"]
+        assert [r.case_name for r in rows] == by_path.case_names
+        for other in (by_dir, by_dataset):
+            for a, b in zip(rows, other.per_model["IREDGe"]):
+                assert (a.case_name, a.f1, a.mae) == (b.case_name, b.f1, b.mae)
+
+    def test_train_predictor_accepts_manifest(self, streamed):
+        out_dir, _ = streamed
+        predictor, _ = train_predictor("IRPnet", str(out_dir), TINY)
+        assert predictor.preprocessor.channels == MODEL_REGISTRY["IRPnet"].channels
+
+    def test_incomplete_dataset_behaves_same_for_any_workers(self, streamed):
+        from dataclasses import replace
+        from repro.data.dataset import ShardedSuiteDataset
+
+        _, manifest = streamed
+        # drop one fake case: still trainable/evaluable, but incomplete
+        partial = replace(manifest,
+                          refs=[r for r in manifest.refs if r.index != 0])
+        dataset = ShardedSuiteDataset(partial, require_complete=False)
+        sequential = run_comparison(dataset, ["IREDGe", "IRPnet"], TINY,
+                                    reference="IREDGe", workers=1)
+        parallel = run_comparison(dataset, ["IREDGe", "IRPnet"], TINY,
+                                  reference="IREDGe", workers=2)
+        for name in sequential.per_model:
+            for a, b in zip(sequential.per_model[name],
+                            parallel.per_model[name]):
+                assert (a.case_name, a.f1, a.mae) == (b.case_name, b.f1, b.mae)
+
+    def test_parallel_workers_match_sequential(self, streamed):
+        out_dir, _ = streamed
+        names = ["IREDGe", "IRPnet"]
+        sequential = run_comparison(str(out_dir), names, TINY,
+                                    reference="IREDGe", workers=1)
+        parallel = run_comparison(str(out_dir), names, TINY,
+                                  reference="IREDGe", workers=2)
+        for name in names:
+            for a, b in zip(sequential.per_model[name], parallel.per_model[name]):
+                assert (a.case_name, a.f1, a.mae) == (b.case_name, b.f1, b.mae)
+        for name in names:
+            assert sequential.ratios[name]["f1"] == parallel.ratios[name]["f1"]
+            assert sequential.ratios[name]["mae"] == parallel.ratios[name]["mae"]
 
 
 class TestAblation:

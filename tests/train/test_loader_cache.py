@@ -1,0 +1,151 @@
+"""Parity tests for the epoch-cached preprocessing pipeline.
+
+The deterministic stage of :class:`CasePreprocessor` is cached per unique
+case identity; these tests pin the contract: with augmentation off the
+cached loader is bit-identical to the uncached one on every epoch, with
+augmentation on the RNG is consumed identically so training trajectories
+match draw for draw, and the cache composes with oversampled views and
+manifest-backed lazy cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LMMIR, LMMIRConfig
+from repro.data.dataset import IRDropDataset, ShardedSuiteDataset
+from repro.data.synthesis import SynthesisSettings, stream_suite, synthesize_case
+from repro.train.loader import (
+    BatchLoader,
+    CasePreprocessor,
+    PreparedCaseCache,
+)
+from repro.train.seed import seed_everything
+from repro.train.trainer import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return [synthesize_case("fake", seed=s) for s in (300, 301, 302)]
+
+
+@pytest.fixture(scope="module")
+def preprocessor(cases):
+    pre = CasePreprocessor(target_edge=16, num_points=32)
+    pre.fit(cases)
+    return pre
+
+
+def _epochs(loader, count):
+    """Concatenate ``count`` epochs of (features, points, targets, masks)."""
+    out = []
+    for _ in range(count):
+        for batch in loader:
+            out.append((batch.features.data, batch.points.data,
+                        batch.targets.data, batch.masks))
+    return out
+
+
+class TestCacheParity:
+    def test_bit_identical_batches_without_augmentation(self, preprocessor, cases):
+        oversampled = IRDropDataset.with_oversampling(cases, fake_times=3)
+        kwargs = dict(batch_size=4, augment=False, seed=7)
+        cached = BatchLoader(oversampled, preprocessor, cache=True, **kwargs)
+        uncached = BatchLoader(oversampled, preprocessor, cache=False, **kwargs)
+        for a, b in zip(_epochs(cached, 3), _epochs(uncached, 3)):
+            for cached_arr, uncached_arr in zip(a, b):
+                assert np.array_equal(cached_arr, uncached_arr)
+        assert cached.cache.hits > 0
+
+    def test_identical_rng_consumption_with_augmentation(self, preprocessor, cases):
+        kwargs = dict(batch_size=2, augment=True, seed=11)
+        cached = BatchLoader(cases, preprocessor, cache=True, **kwargs)
+        uncached = BatchLoader(cases, preprocessor, cache=False, **kwargs)
+        for a, b in zip(_epochs(cached, 2), _epochs(uncached, 2)):
+            for cached_arr, uncached_arr in zip(a, b):
+                assert np.array_equal(cached_arr, uncached_arr)
+
+    def test_identical_loss_curves_with_augmentation(self, preprocessor, cases):
+        def train(cache_size):
+            seed_everything(0)
+            model = LMMIR(LMMIRConfig(
+                in_channels=6, base_channels=4, depth=2, encoder_kernel=3,
+                netlist_dim=8, netlist_depth=1, netlist_heads=2,
+                fusion_heads=2))
+            trainer = Trainer(model, preprocessor, TrainConfig(
+                epochs=2, pretrain_epochs=1, batch_size=2, augment=True,
+                seed=5, preprocess_cache=cache_size))
+            return trainer.fit(cases)
+
+        with_cache = train(cache_size=64)
+        without_cache = train(cache_size=0)
+        assert with_cache.pretrain_losses == without_cache.pretrain_losses
+        assert with_cache.finetune_losses == without_cache.finetune_losses
+
+
+class TestPreparedCaseCache:
+    def test_oversampled_views_share_one_entry(self, preprocessor, cases):
+        cache = PreparedCaseCache(maxsize=8)
+        first = preprocessor.prepare(cases[0], cache=cache)
+        again = preprocessor.prepare(cases[0], cache=cache)
+        assert first is again
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_bounded_eviction_stays_correct(self, preprocessor, cases):
+        cache = PreparedCaseCache(maxsize=2)
+        reference = [preprocessor.prepare(c) for c in cases]
+        for _ in range(2):  # 3 cases through a 2-slot LRU → evictions
+            for case, ref in zip(cases, reference):
+                prepared = preprocessor.prepare(case, cache=cache)
+                assert np.array_equal(prepared.features, ref.features)
+        assert len(cache) == 2
+        assert cache.misses > len(cases)  # recomputed after eviction
+
+    def test_augmented_draws_never_mutate_cached_stack(self, preprocessor, cases):
+        cache = PreparedCaseCache(maxsize=4)
+        clean = preprocessor.prepare(cases[0], cache=cache)
+        baseline = clean.features.copy()
+        rng = np.random.default_rng(3)
+        noisy = preprocessor.prepare(cases[0], augment_rng=rng,
+                                     sigma_range=(1e-3, 1e-3), cache=cache)
+        assert not np.array_equal(noisy.features, baseline)
+        assert np.array_equal(clean.features, baseline)
+        assert noisy.clean_features is clean.features
+
+    def test_lazy_cases_keyed_by_directory(self, tmp_path):
+        settings = SynthesisSettings(edge_um_range=(24.0, 26.0))
+        stream_suite(str(tmp_path), num_fake=2, num_real=0, num_hidden=0,
+                     seed=31, settings=settings)
+        # two independent dataset views of the same manifest: distinct
+        # LazyCase objects, same directories → same cache entries
+        ds_a = ShardedSuiteDataset(tmp_path / "manifest.json")
+        ds_b = ShardedSuiteDataset(tmp_path / "manifest.json")
+        pre = CasePreprocessor(target_edge=16, num_points=32)
+        pre.fit(list(ds_a))
+        cache = PreparedCaseCache(maxsize=4)
+        for case in ds_a:
+            pre.prepare(case, cache=cache)
+        for case in ds_b:
+            pre.prepare(case, cache=cache)
+        assert cache.hits == len(ds_b)
+        assert cache.misses == len(ds_a)
+
+    def test_cache_refuses_second_preprocessor(self, preprocessor, cases):
+        cache = PreparedCaseCache(maxsize=4)
+        preprocessor.prepare(cases[0], cache=cache)
+        other = CasePreprocessor(target_edge=24, num_points=16)
+        other.fit(cases)
+        with pytest.raises(ValueError, match="bound to a different"):
+            other.prepare(cases[0], cache=cache)
+        cache.clear()  # clearing releases the binding
+        other.prepare(cases[0], cache=cache)
+
+    def test_zero_disables_cache_like_trainconfig(self, preprocessor, cases):
+        loader = BatchLoader(cases, preprocessor, cache=0)
+        assert loader.cache is None
+        assert BatchLoader(cases, preprocessor, cache=False).cache is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PreparedCaseCache(maxsize=0)
+        with pytest.raises(ValueError):
+            TrainConfig(preprocess_cache=-1)
