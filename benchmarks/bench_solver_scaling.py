@@ -2,16 +2,29 @@
 
 The paper's premise is that exact IR analysis is expensive at scale
 (hours for full chips) while the learned model is fast.  This bench
-measures our sparse solver's wall-time across node counts (the series the
-DESIGN.md inventory calls "solver scaling") and asserts near-linear
-scaling of the sparse factorisation in the tested range.
+measures our sparse solver's wall-time across node counts, pits the
+multigrid-preconditioned block-CG engine against the per-column Jacobi
+CG it replaced on a >=250k-node grid, and calibrates the direct<->CG
+crossover into ``benchmarks/artifacts/solver_crossover.json`` (loadable
+via the ``REPRO_SOLVER_CROSSOVER_FILE`` environment variable).
+
+Tests split into two CI tiers:
+
+* **numeric parity** (unmarked) — fast assertions that the fast paths
+  change no data; a *gating* CI step runs them with ``-m "not perf"``.
+* **wall-clock** (``@pytest.mark.perf``) — speedup floors; informative
+  on shared runners, run with ``continue-on-error``.
 """
 
+import json
+import os
 import time
 
 import numpy as np
-from conftest import emit
-from scipy.sparse.linalg import spsolve
+import pytest
+from conftest import ARTIFACT_DIR, emit
+from scipy import sparse
+from scipy.sparse.linalg import cg, spsolve
 
 from repro.pdn import PDNConfig, contest_stack, generate_pdn
 from repro.solver import (
@@ -22,16 +35,113 @@ from repro.solver import (
     solve_static_ir,
 )
 
+perf = pytest.mark.perf
+
 EDGES_UM = [32.0, 64.0, 96.0, 128.0]
 
+# the multigrid/per-column comparison grid: >= 250k unknowns
+LARGE_EDGE_UM = 1000.0
+LARGE_NUM_RHS = 16
 
-def _case(edge_um: float, seed: int = 0):
+# sizes swept by the crossover calibration (single-RHS workload)
+CROSSOVER_EDGES_UM = [96.0, 192.0, 320.0, 448.0]
+
+CROSSOVER_FILE = os.path.join(ARTIFACT_DIR, "solver_crossover.json")
+
+
+def _case(edge_um: float, seed: int = 0, current_fraction: float = 0.7,
+          num_pads: int = 4):
     return generate_pdn(PDNConfig(
         stack=contest_stack(), width_um=edge_um, height_um=edge_um,
-        total_current=0.05, num_pads=4, tap_spacing_um=4.0, seed=seed,
+        total_current=0.05, num_pads=num_pads, tap_spacing_um=4.0, seed=seed,
+        current_fraction=current_fraction,
     ))
 
 
+def _scaled_maps(netlist, num_rhs: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    maps = []
+    for _ in range(num_rhs):
+        factor = float(rng.uniform(0.5, 2.0))
+        maps.append({s.node: s.value * factor
+                     for s in netlist.current_sources})
+    return maps
+
+
+def _percolumn_jacobi_cg(system, rhs_columns, rtol: float):
+    """The seed repo's CG path: scipy ``cg`` per column, Jacobi precond.
+
+    This is the baseline the block-CG(mg) engine must beat; it mirrors
+    the old ``FactorizedPDN._solve_cg`` exactly, including the work that
+    path re-did on *every* batch: the supply-reachability connectivity
+    scan and the ``diags`` preconditioner rebuild.
+    """
+    from scipy.sparse.csgraph import connected_components
+
+    connected_components(system.matrix, directed=False)
+    preconditioner = sparse.diags(1.0 / system.matrix.diagonal())
+    out = np.empty_like(rhs_columns)
+    for j in range(rhs_columns.shape[1]):
+        solution, info = cg(system.matrix, rhs_columns[:, j], rtol=rtol,
+                            atol=0.0, M=preconditioner)
+        assert info == 0
+        out[:, j] = solution
+    return out
+
+
+# ----------------------------------------------------------------------
+# Numeric parity (gating in CI)
+# ----------------------------------------------------------------------
+def test_solve_is_exact_at_every_size():
+    for edge in EDGES_UM[:2]:
+        case = _case(edge, seed=1)
+        result = solve_static_ir(case.netlist)
+        audit = audit_solution(case.netlist, result)
+        assert audit.kcl_residual < 1e-8
+        assert audit.current_balance_error < 1e-8
+
+
+def test_block_cg_parity_with_direct():
+    """Block CG under every preconditioner reproduces the direct solve to
+    <=1e-8 max-abs on a grid where both backends run comfortably."""
+    case = _case(EDGES_UM[-1], seed=7)
+    netlist = case.netlist
+    maps = _scaled_maps(netlist, 4)
+    direct = FactorizedPDN(netlist, method="direct").solve_many(maps)
+    for precond in ("mg", "ic", "jacobi"):
+        blocked = FactorizedPDN(netlist, method="cg",
+                                precond=precond).solve_many(maps)
+        for d, b in zip(direct, blocked):
+            worst = max(abs(d.node_voltages[name] - b.node_voltages[name])
+                        for name in d.node_voltages)
+            assert worst <= 1e-8, (precond, worst)
+
+
+def test_multi_rhs_matches_single_rhs_bitwise():
+    """A column solved in a block is bit-identical to a solo solve."""
+    case = _case(EDGES_UM[-2], seed=3)
+    netlist = case.netlist
+    maps = _scaled_maps(netlist, 3)
+    engine = FactorizedPDN(netlist, method="cg")
+    batch = engine.solve_many(maps)
+    for current_map, blocked in zip(maps, batch):
+        single = FactorizedPDN(netlist, method="cg").solve(current_map)
+        assert single.node_voltages == blocked.node_voltages
+
+
+def test_assembly_matches_reference():
+    case = _case(EDGES_UM[-1], seed=5)
+    reference = assemble_system_reference(case.netlist)
+    vectorized = assemble_system(case.netlist)
+    difference = reference.matrix - vectorized.matrix
+    assert difference.nnz == 0 or abs(difference).max() < 1e-9
+    assert np.allclose(reference.rhs, vectorized.rhs)
+
+
+# ----------------------------------------------------------------------
+# Wall-clock (continue-on-error in CI)
+# ----------------------------------------------------------------------
+@perf
 def test_solver_scaling_series(artifact_dir, benchmark):
     lines = ["Golden solver scaling (sparse nodal analysis):",
              f"{'edge (um)':>10} {'nodes':>9} {'solve (ms)':>11}"]
@@ -55,15 +165,7 @@ def test_solver_scaling_series(artifact_dir, benchmark):
     assert time_ratio < node_ratio ** 2
 
 
-def test_solve_is_exact_at_every_size():
-    for edge in EDGES_UM[:2]:
-        case = _case(edge, seed=1)
-        result = solve_static_ir(case.netlist)
-        audit = audit_solution(case.netlist, result)
-        assert audit.kcl_residual < 1e-8
-        assert audit.current_balance_error < 1e-8
-
-
+@perf
 def test_midsize_solve_cost(benchmark):
     """Benchmark: one exact solve of a ~10k-node PDN."""
     case = _case(96.0, seed=2)
@@ -72,6 +174,7 @@ def test_midsize_solve_cost(benchmark):
     assert result.worst_drop > 0
 
 
+@perf
 def test_factor_once_solve_many_speedup(artifact_dir):
     """Factor-once/solve-many must beat N independent spsolve calls.
 
@@ -82,13 +185,7 @@ def test_factor_once_solve_many_speedup(artifact_dir):
     """
     case = _case(128.0, seed=7)
     netlist = case.netlist
-    num_rhs = 16
-    rng = np.random.default_rng(0)
-    current_maps = []
-    for _ in range(num_rhs):
-        factor = float(rng.uniform(0.5, 2.0))
-        current_maps.append({s.node: s.value * factor
-                             for s in netlist.current_sources})
+    current_maps = _scaled_maps(netlist, 16)
 
     system = assemble_system(netlist)  # assembly is not timed on either side
     start = time.perf_counter()
@@ -109,7 +206,7 @@ def test_factor_once_solve_many_speedup(artifact_dir):
 
     speedup = independent_s / max(batched_s, 1e-9)
     text = ("Factor-once/solve-many vs independent spsolve "
-            f"({system.size:,} unknowns, {num_rhs} RHS):\n"
+            f"({system.size:,} unknowns, {len(current_maps)} RHS):\n"
             f"  independent: {independent_s * 1e3:8.1f} ms\n"
             f"  batched:     {batched_s * 1e3:8.1f} ms\n"
             f"  speedup:     {speedup:8.1f}x")
@@ -117,6 +214,7 @@ def test_factor_once_solve_many_speedup(artifact_dir):
     assert speedup >= 3.0
 
 
+@perf
 def test_vectorized_assembly_beats_loop(artifact_dir):
     """Vectorized stamping must beat the scalar reference loop."""
     case = _case(EDGES_UM[-1], seed=5)
@@ -126,20 +224,159 @@ def test_vectorized_assembly_beats_loop(artifact_dir):
                  for _ in range(3))
     vec_s = min(_timed(lambda: assemble_system(netlist)) for _ in range(3))
 
-    reference = assemble_system_reference(netlist)
-    vectorized = assemble_system(netlist)
-    difference = reference.matrix - vectorized.matrix
-    assert difference.nnz == 0 or abs(difference).max() < 1e-9
-    assert np.allclose(reference.rhs, vectorized.rhs)
-
     text = ("Assembly on the largest bench grid "
-            f"({len(netlist.resistors):,} resistors, "
-            f"{vectorized.size:,} unknowns):\n"
+            f"({len(netlist.resistors):,} resistors):\n"
             f"  python loop: {loop_s * 1e3:8.1f} ms\n"
             f"  vectorized:  {vec_s * 1e3:8.1f} ms\n"
             f"  speedup:     {loop_s / max(vec_s, 1e-9):8.1f}x")
     emit(artifact_dir, "solver_assembly.txt", text)
     assert vec_s < loop_s
+
+
+@perf
+def test_block_mg_cg_beats_percolumn_jacobi_on_large_grid(artifact_dir):
+    """The tentpole criterion: on a >=250k-node grid, multigrid block CG
+    solves 16 RHS >=3x faster than the per-column Jacobi CG it replaced,
+    at the engine's own default tolerance on both sides, with <=1e-8
+    max-abs parity against the direct solve.
+    """
+    case = _case(LARGE_EDGE_UM, seed=7, current_fraction=0.2, num_pads=16)
+    netlist = case.netlist
+    assert netlist.num_nodes >= 250_000
+
+    engine = FactorizedPDN(netlist, method="cg", precond="mg")
+    system = engine.system
+    rtol = engine.cg_rtol
+    maps = _scaled_maps(netlist, LARGE_NUM_RHS)
+    rhs_columns = np.column_stack([system.rhs_for(m) for m in maps])
+
+    # new path: block CG, multigrid preconditioner.  The first batch pays
+    # hierarchy setup; the second runs against the warm engine, which is
+    # the suite steady state (many budget batches per template, all on
+    # one cached FactorizedPDN).  The old path had no reusable state —
+    # it re-ran its checks and rebuilt its preconditioner every batch —
+    # so its per-batch cost below IS its steady state.
+    start = time.perf_counter()
+    blocked = engine.solve_many(maps)
+    cold_block_s = time.perf_counter() - start
+    start = time.perf_counter()
+    engine.solve_many(maps)
+    warm_block_s = time.perf_counter() - start
+    block_s = min(cold_block_s, warm_block_s)
+
+    # old path: scipy cg per column with a Jacobi preconditioner
+    start = time.perf_counter()
+    percolumn = _percolumn_jacobi_cg(system, rhs_columns, rtol)
+    percolumn_s = time.perf_counter() - start
+
+    # both iterative paths agree with each other at solver tolerance...
+    block_matrix = np.column_stack([
+        [result.node_voltages[name] for name in system.free_nodes]
+        for result in blocked
+    ])
+    assert np.max(np.abs(block_matrix - percolumn)) <= 1e-6
+
+    # ...and with the exact direct solve to the acceptance tolerance
+    direct = FactorizedPDN(netlist, method="direct")
+    start = time.perf_counter()
+    exact = direct.solve_vector(rhs_columns[:, 0])
+    direct_s = time.perf_counter() - start
+    assert np.max(np.abs(block_matrix[:, 0] - exact)) <= 1e-8
+
+    speedup = percolumn_s / max(block_s, 1e-9)
+    text = (f"Block CG(mg) vs per-column Jacobi CG "
+            f"({system.size:,} unknowns, {LARGE_NUM_RHS} RHS, "
+            f"rtol={rtol:g}):\n"
+            f"  per-column Jacobi:    {percolumn_s:8.1f} s per batch\n"
+            f"  block CG(mg) cold:    {cold_block_s:8.1f} s "
+            f"(incl. setup {engine.factor_seconds:.2f} s)\n"
+            f"  block CG(mg) warm:    {warm_block_s:8.1f} s per batch\n"
+            f"  speedup:              {speedup:8.1f}x\n"
+            f"  direct (1 RHS, factor+solve): {direct_s:.1f} s\n"
+            f"  max|block - direct|: "
+            f"{np.max(np.abs(block_matrix[:, 0] - exact)):.2e}")
+    emit(artifact_dir, "solver_block_mg.txt", text)
+    assert speedup >= 3.0
+
+
+@perf
+def test_crossover_calibration(artifact_dir):
+    """Measure direct vs CG(mg) across sizes and write the crossover.
+
+    The artifact (``solver_crossover.json``) is the calibration input of
+    :func:`repro.solver.direct_size_limit` — point
+    ``REPRO_SOLVER_CROSSOVER_FILE`` at it to have ``method="auto"``
+    switch where *this* machine actually crosses, not at the built-in
+    default.  Single-RHS workload: that is what ``method="auto"`` decides
+    for; factor-once batches amortise the direct path further.
+    """
+    samples = []
+    for edge in CROSSOVER_EDGES_UM:
+        case = _case(edge, seed=11, current_fraction=0.3)
+        netlist = case.netlist
+
+        direct_engine = FactorizedPDN(netlist, method="direct")
+        start = time.perf_counter()
+        direct_engine.solve()
+        direct_s = time.perf_counter() - start
+
+        cg_engine = FactorizedPDN(netlist, method="cg", precond="mg")
+        start = time.perf_counter()
+        cg_engine.solve()
+        cg_s = time.perf_counter() - start
+
+        samples.append({"edge_um": edge, "nodes": int(cg_engine.size),
+                        "direct_seconds": direct_s, "cg_mg_seconds": cg_s})
+
+    crossover, source = _estimate_crossover(samples)
+    payload = {"crossover_nodes": int(crossover), "source": source,
+               "rhs": 1, "samples": samples}
+    with open(CROSSOVER_FILE, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    lines = ["Direct vs CG(mg) crossover calibration (1 RHS, cold solves):",
+             f"{'edge (um)':>10} {'nodes':>9} {'direct (s)':>11} {'cg mg (s)':>10}"]
+    for sample in samples:
+        lines.append(f"{sample['edge_um']:>10.0f} {sample['nodes']:>9,} "
+                     f"{sample['direct_seconds']:>11.3f} "
+                     f"{sample['cg_mg_seconds']:>10.3f}")
+    lines.append(f"crossover: ~{crossover:,} nodes ({source}) "
+                 f"-> {CROSSOVER_FILE}")
+    emit(artifact_dir, "solver_crossover.txt", "\n".join(lines))
+
+    # the calibration must be loadable by the solver knob
+    from repro.solver import load_crossover_calibration
+    assert load_crossover_calibration(CROSSOVER_FILE) == int(crossover)
+
+
+def _estimate_crossover(samples):
+    """Smallest size from which CG wins *consistently*, else a log-log
+    extrapolation of the two cost curves (clamped to a sane range), else
+    the default.
+
+    The consistency requirement (CG must also win at every larger
+    measured size) is the noise guard: a single timing hiccup at a tiny
+    grid must not write a near-zero crossover that would route every
+    ``method="auto"`` solve through CG fleet-wide.
+    """
+    from repro.solver import DIRECT_SIZE_LIMIT
+
+    cg_wins = [s["cg_mg_seconds"] < s["direct_seconds"] for s in samples]
+    if cg_wins[-1]:
+        first = len(samples) - 1
+        while first > 0 and cg_wins[first - 1]:
+            first -= 1
+        return samples[first]["nodes"], "measured"
+    nodes = np.log([s["nodes"] for s in samples])
+    direct = np.log([max(s["direct_seconds"], 1e-6) for s in samples])
+    cg_mg = np.log([max(s["cg_mg_seconds"], 1e-6) for s in samples])
+    slope_d, icept_d = np.polyfit(nodes, direct, 1)
+    slope_c, icept_c = np.polyfit(nodes, cg_mg, 1)
+    if slope_d <= slope_c:  # curves never cross going up: keep the default
+        return DIRECT_SIZE_LIMIT, "default"
+    crossing = float(np.exp((icept_c - icept_d) / (slope_d - slope_c)))
+    clamped = int(np.clip(crossing, samples[-1]["nodes"], 20_000_000))
+    return clamped, "extrapolated"
 
 
 def _timed(fn) -> float:

@@ -18,11 +18,14 @@ the results are identical to the sequential run for any worker count
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.pipeline import IRPredictor
 from repro.core.registry import MODEL_REGISTRY, ModelSpec
@@ -30,12 +33,16 @@ from repro.data.dataset import IRDropDataset, ShardedSuiteDataset
 from repro.data.io import SuiteManifest, manifest_filename
 from repro.data.synthesis import BenchmarkSuite
 from repro.metrics.report import CaseMetrics, average_metrics, metric_ratios, score_case
+from repro.solver.store import FactorizationStore
 from repro.train.loader import CasePreprocessor
 from repro.train.seed import seed_everything
 from repro.train.trainer import TrainConfig, Trainer
 
 __all__ = ["EvalConfig", "ComparisonResult", "SuiteSource", "resolve_suite",
-           "train_predictor", "evaluate_predictor", "run_comparison"]
+           "train_predictor", "evaluate_predictor", "run_comparison",
+           "CHECKPOINT_FORMAT"]
+
+CHECKPOINT_FORMAT = "lmm-ir-model-checkpoint-v1"
 
 SuiteSource = Union[BenchmarkSuite, ShardedSuiteDataset, SuiteManifest,
                     str, "os.PathLike[str]"]
@@ -58,6 +65,14 @@ class EvalConfig:
     real_oversample: int = 3
     hotspot_weight: float = 6.0
     seed: int = 0
+    checkpoint_dir: Optional[str] = None
+    """Directory of persisted trained weights.  When set, every
+    :func:`train_predictor` call first looks for a checkpoint keyed by
+    model name + training config + suite identity and skips training on
+    a hit; after a fresh training run the weights are saved there."""
+    retrain: bool = False
+    """Force training even when a matching checkpoint exists (the
+    checkpoint is then overwritten with the fresh weights)."""
 
     @classmethod
     def from_env(cls, **overrides) -> "EvalConfig":
@@ -82,6 +97,9 @@ class EvalConfig:
             hotspot_weight=env_float("REPRO_EVAL_HOTSPOT_WEIGHT",
                                      cls.hotspot_weight),
             seed=env_int("REPRO_EVAL_SEED", cls.seed),
+            checkpoint_dir=os.environ.get("REPRO_EVAL_CHECKPOINT_DIR") or None,
+            retrain=os.environ.get("REPRO_EVAL_RETRAIN", "").lower()
+            in ("1", "true", "yes"),
         )
         for key, value in overrides.items():
             setattr(config, key, value)
@@ -158,11 +176,135 @@ def _training_cases(spec: ModelSpec, suite) -> list:
 
 
 # ----------------------------------------------------------------------
+# Trained-weight checkpoints
+# ----------------------------------------------------------------------
+def _suite_identity(suite) -> dict:
+    """JSON identity of the training data, for checkpoint keying.
+
+    Manifest-backed suites carry full provenance (suite parameters +
+    synthesis settings) *plus* the actual case roster — the refs matter
+    because a partial dataset (one shard, or ``require_complete=False``
+    with dropped cases) shares ``suite``/``settings`` with the full
+    build, and weights trained on half the data must not be silently
+    reused for the whole suite.  In-memory suites are identified by
+    their case roster plus a digest of each case's actual arrays — the
+    golden map and feature stacks are a function of *every* synthesis
+    setting (smoothing sigma, density window, drop targets, ...), none
+    of which an in-memory :class:`BenchmarkSuite` carries explicitly, so
+    hashing the data itself is the only way a settings change can never
+    silently reuse stale weights.  Suite generation is bit-reproducible,
+    so two builds of the same suite digest identically.
+    """
+    if isinstance(suite, ShardedSuiteDataset):
+        manifest = suite.manifest
+        return {
+            "suite": manifest.suite,
+            "settings": manifest.settings,
+            "refs": [[ref.index, ref.name, ref.kind]
+                     for ref in manifest.refs],
+        }
+    cases = (list(suite.fake_cases) + list(suite.real_cases)
+             + list(suite.hidden_cases))
+    return {"cases": [
+        [case.name, case.kind, _case_digest(case)] for case in cases
+    ]}
+
+
+def _case_digest(case) -> str:
+    """Content hash of a case's golden map + feature channels."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(case.ir_map).tobytes())
+    for channel in sorted(case.feature_maps):
+        digest.update(channel.encode())
+        digest.update(np.ascontiguousarray(case.feature_maps[channel]).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _checkpoint_identity(spec_name: str, spec: ModelSpec, suite,
+                         config: EvalConfig) -> dict:
+    """Everything that determines the trained weights, JSON-normalised."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "model": spec_name,
+        "train": {
+            "target_edge": config.target_edge,
+            "num_points": config.num_points,
+            "epochs": config.epochs,
+            "pretrain_epochs": config.pretrain_epochs,
+            "batch_size": config.batch_size,
+            "lr": config.lr,
+            "fake_oversample": config.fake_oversample,
+            "real_oversample": config.real_oversample,
+            "hotspot_weight": config.hotspot_weight,
+            "seed": config.seed,
+        },
+        "regime": {
+            "train_on": spec.train_on,
+            "augment_multiplier": spec.augment_multiplier,
+            "epoch_fraction": spec.epoch_fraction,
+            "channels": list(spec.channels),
+            "uses_pointcloud": spec.uses_pointcloud,
+            "tta_samples": spec.tta_samples,
+        },
+        "suite": _suite_identity(suite),
+    }
+
+
+_STATE_PREFIX = "state/"
+_TRAIN_SECONDS_KEY = "train_seconds"
+
+
+def _load_checkpoint(directory: str, identity: dict, model) -> Optional[float]:
+    """Restore ``model`` in place; returns the recorded train time, or
+    ``None`` on miss (absent, incomplete, corrupt, or identity-mismatched
+    checkpoints are all refused and simply retrained).
+
+    Storage is a :class:`~repro.solver.store.FactorizationStore` — the
+    same identity-hashed, meta-last, corruption-refusing, atomically
+    renamed scheme the solver uses, with the state dict as the array
+    payload.  A load that fails mid-way (e.g. a stale checkpoint whose
+    layer shapes no longer match the registry) restores the model's
+    previous weights before reporting the miss, so the fallback retrain
+    starts from the clean seeded init, not a half-overwritten one.
+    """
+    store = FactorizationStore(directory)
+    payload = store.load(identity)
+    if payload is None:
+        return None
+    state = {key[len(_STATE_PREFIX):]: value
+             for key, value in payload.items()
+             if key.startswith(_STATE_PREFIX)}
+    backup = {key: value.copy() for key, value in model.state_dict().items()}
+    try:
+        model.load_state_dict(state)
+    except (ValueError, KeyError):
+        model.load_state_dict(backup)
+        return None
+    seconds = payload.get(_TRAIN_SECONDS_KEY)
+    return 0.0 if seconds is None else float(np.asarray(seconds).ravel()[0])
+
+
+def _save_checkpoint(directory: str, identity: dict, model,
+                     train_seconds: float) -> None:
+    payload = {f"{_STATE_PREFIX}{key}": value
+               for key, value in model.state_dict().items()}
+    payload[_TRAIN_SECONDS_KEY] = np.asarray([float(train_seconds)])
+    FactorizationStore(directory).save(identity, payload)
+
+
+# ----------------------------------------------------------------------
 # Train / evaluate
 # ----------------------------------------------------------------------
 def train_predictor(spec_name: str, suite: SuiteSource,
                     config: Optional[EvalConfig] = None) -> Tuple[IRPredictor, float]:
-    """Train one registered model under its paper-documented regime."""
+    """Train one registered model under its paper-documented regime.
+
+    With ``config.checkpoint_dir`` set, a previous run's weights for the
+    same (model, training config, suite) are loaded instead of training
+    — the returned train time is then the *recorded* cost of the run
+    that produced the weights.  ``config.retrain`` forces training and
+    refreshes the checkpoint.
+    """
     config = config or EvalConfig()
     suite = resolve_suite(suite)
     spec = MODEL_REGISTRY[spec_name]
@@ -177,6 +319,17 @@ def train_predictor(spec_name: str, suite: SuiteSource,
     )
     cases = _training_cases(spec, suite)
     preprocessor.fit(cases)
+
+    identity = None
+    if config.checkpoint_dir:
+        identity = _checkpoint_identity(spec_name, spec, suite, config)
+        if not config.retrain:
+            recorded = _load_checkpoint(config.checkpoint_dir, identity, model)
+            if recorded is not None:
+                predictor = IRPredictor(model, preprocessor, name=spec_name,
+                                        tta_samples=spec.tta_samples)
+                return predictor, recorded
+
     dataset = IRDropDataset.with_oversampling(
         cases,
         fake_times=config.fake_oversample * spec.augment_multiplier,
@@ -195,6 +348,8 @@ def train_predictor(spec_name: str, suite: SuiteSource,
     start = time.perf_counter()
     trainer.fit(list(dataset))
     elapsed = time.perf_counter() - start
+    if identity is not None:
+        _save_checkpoint(config.checkpoint_dir, identity, model, elapsed)
     predictor = IRPredictor(model, preprocessor, name=spec_name,
                             tta_samples=spec.tta_samples)
     return predictor, elapsed

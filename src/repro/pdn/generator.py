@@ -111,7 +111,10 @@ class PDNTemplate:
     The conductance matrix of the nodal system depends only on resistors
     and supply placement, so every case instantiated from one template
     shares a factorisation (see
-    :class:`repro.solver.factorized.FactorizedPDN`).  The netlist here is
+    :class:`repro.solver.factorized.FactorizedPDN`) — within a process
+    via the :class:`~repro.solver.factorized.FactorizedCache` LRU, and
+    across processes/restarts via the disk-persistent
+    :class:`~repro.solver.store.FactorizationStore`.  The netlist here is
     already pruned; per-case current sources attach to surviving nodes
     only, so instantiated cases never need re-pruning.
     """
@@ -186,11 +189,15 @@ def _attach_current_sources(netlist: Netlist, power: np.ndarray,
     chosen = [candidates[i] for i in sorted(chosen_indices)]
 
     rows, cols = power.shape
-    weights = np.empty(len(chosen))
-    for position, node in enumerate(chosen):
-        row = min(int(round(node.y_um)), rows - 1)
-        col = min(int(round(node.x_um)), cols - 1)
-        weights[position] = power[row, col]
+    # vectorized density lookup: the per-node Python loop dominated case
+    # instantiation on large grids (hundreds of thousands of taps)
+    ys = np.fromiter((node.y_um for node in chosen), dtype=float,
+                     count=len(chosen))
+    xs = np.fromiter((node.x_um for node in chosen), dtype=float,
+                     count=len(chosen))
+    row_idx = np.minimum(np.round(ys).astype(np.int64), rows - 1)
+    col_idx = np.minimum(np.round(xs).astype(np.int64), cols - 1)
+    weights = power[row_idx, col_idx]
     # per-instance activity jitter on top of the density field
     weights = weights * rng.uniform(0.5, 1.5, size=len(chosen))
     total = weights.sum()

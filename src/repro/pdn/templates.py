@@ -53,6 +53,11 @@ class HiddenCaseSpec:
     edge_px: int
     nodes: int
 
+    def scaled_edge_um(self, scale: float, floor_um: float = 24.0) -> float:
+        """Die edge scaled to a CPU budget, floored so the grid stays
+        solvable (a sub-24 µm die degenerates below the top-layer pitch)."""
+        return max(self.edge_px * scale, floor_um)
+
 
 # Table II of the paper: testcase id -> (shape edge in px, node count)
 HIDDEN_CASE_SPECS: Tuple[HiddenCaseSpec, ...] = (

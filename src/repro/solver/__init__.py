@@ -15,16 +15,30 @@ from repro.solver.factorized import (
     DIRECT_SIZE_LIMIT,
     FactorizedCache,
     FactorizedPDN,
+    direct_size_limit,
+    load_crossover_calibration,
     solve_static_ir_many,
+)
+from repro.solver.multigrid import (
+    BlockCGResult,
+    IncompleteCholeskyPreconditioner,
+    JacobiPreconditioner,
+    MultigridPreconditioner,
+    block_cg,
+    node_coordinates,
 )
 from repro.solver.rasterize import node_positions_px, rasterize_ir_map
 from repro.solver.static import IRSolveResult, solve_static_ir
+from repro.solver.store import STORE_ENV, STORE_FORMAT, FactorizationStore
 
 __all__ = [
     "assemble_system", "assemble_system_reference", "NodalSystem",
     "solve_static_ir", "IRSolveResult",
     "FactorizedPDN", "FactorizedCache", "solve_static_ir_many",
-    "DIRECT_SIZE_LIMIT",
+    "DIRECT_SIZE_LIMIT", "direct_size_limit", "load_crossover_calibration",
+    "MultigridPreconditioner", "IncompleteCholeskyPreconditioner",
+    "JacobiPreconditioner", "block_cg", "BlockCGResult", "node_coordinates",
+    "FactorizationStore", "STORE_FORMAT", "STORE_ENV",
     "rasterize_ir_map", "node_positions_px",
     "audit_solution", "SolutionAudit",
 ]

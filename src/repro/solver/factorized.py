@@ -7,60 +7,160 @@ the conductance matrix — can be paid once and amortised over every RHS.
 vectorized assembly and solves batches of load maps in a single 2-D
 triangular solve.
 
-For grids too large to factor, an opt-in iterative path runs
-Jacobi(diagonal)-preconditioned conjugate gradient; the conductance matrix
-of a reduced PDN is symmetric positive definite, which is exactly CG's
-home turf.  Select with ``method="cg"`` or leave ``method="auto"`` to pick
-by system size.
+For grids too large to factor, the iterative path runs preconditioned
+conjugate gradient; the conductance matrix of a reduced PDN is symmetric
+positive definite, which is exactly CG's home turf.  The preconditioner
+is selectable (``precond="mg" | "ic" | "jacobi" | "auto"`` — geometric
+multigrid when node names carry grid coordinates, incomplete
+factorisation otherwise; see :mod:`repro.solver.multigrid`), CG setup
+(preconditioner build + well-posedness checks) is cached on the instance
+and accounted in ``factor_seconds`` like the LU path's factor time, and
+multi-RHS solves run through :func:`repro.solver.multigrid.block_cg` so
+the whole batch shares each iteration's matvec and V-cycle.
+
+The direct↔CG crossover is a calibrated knob rather than a constant:
+``method="auto"`` consults :func:`direct_size_limit`, which honours the
+``REPRO_SOLVER_DIRECT_LIMIT`` environment variable, then a calibration
+file written by ``benchmarks/bench_solver_scaling.py`` (pointed to by
+``REPRO_SOLVER_CROSSOVER_FILE``), then the built-in default.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.sparse.csgraph import connected_components
-from scipy.sparse.linalg import cg, splu
+from scipy.sparse.linalg import splu
 
-from repro.solver.conductance import CurrentsLike, assemble_system
+from repro.solver.conductance import CurrentsLike, NodalSystem, assemble_system
+from repro.solver.multigrid import (
+    IncompleteCholeskyPreconditioner,
+    JacobiPreconditioner,
+    MultigridPreconditioner,
+    block_cg,
+    node_coordinates,
+)
 from repro.solver.static import IRSolveResult, result_from_solution
 from repro.spice.netlist import Netlist
 
 __all__ = [
     "FactorizedPDN", "FactorizedCache", "solve_static_ir_many",
-    "DIRECT_SIZE_LIMIT",
+    "DIRECT_SIZE_LIMIT", "direct_size_limit", "load_crossover_calibration",
 ]
 
 DIRECT_SIZE_LIMIT = 400_000
-"""``method="auto"`` switches to CG above this many unknowns."""
+"""Built-in default for the ``method="auto"`` direct↔CG switch; the
+effective value is resolved per solve by :func:`direct_size_limit`."""
+
+DIRECT_LIMIT_ENV = "REPRO_SOLVER_DIRECT_LIMIT"
+CROSSOVER_FILE_ENV = "REPRO_SOLVER_CROSSOVER_FILE"
 
 _METHODS = ("auto", "direct", "cg")
+_PRECONDS = ("auto", "mg", "ic", "jacobi")
+
+_calibration_cache: Dict[Tuple[str, float], int] = {}
+
+
+def load_crossover_calibration(path: str) -> int:
+    """Read the measured direct↔CG crossover from a calibration JSON.
+
+    The file is written by ``benchmarks/bench_solver_scaling.py``
+    (``benchmarks/artifacts/solver_crossover.json``) and must carry a
+    positive integer ``crossover_nodes``.  Reads are memoised per
+    ``(path, mtime)`` so per-solve resolution stays cheap.
+    """
+    key = (os.path.abspath(path), os.path.getmtime(path))
+    if key not in _calibration_cache:
+        with open(path) as handle:
+            payload = json.load(handle)
+        crossover = payload.get("crossover_nodes")
+        if not isinstance(crossover, int) or crossover <= 0:
+            raise ValueError(
+                f"{path!r} is not a solver-crossover calibration "
+                f"(crossover_nodes={crossover!r})"
+            )
+        _calibration_cache[key] = crossover
+    return _calibration_cache[key]
+
+
+def direct_size_limit() -> int:
+    """The effective ``method="auto"`` direct↔CG switch point.
+
+    Resolution order: ``REPRO_SOLVER_DIRECT_LIMIT`` (explicit override),
+    the calibration file named by ``REPRO_SOLVER_CROSSOVER_FILE``, then
+    the built-in :data:`DIRECT_SIZE_LIMIT`.
+    """
+    override = os.environ.get(DIRECT_LIMIT_ENV)
+    if override:
+        return int(override)
+    calibration = os.environ.get(CROSSOVER_FILE_ENV)
+    if calibration:
+        return load_crossover_calibration(calibration)
+    return DIRECT_SIZE_LIMIT
 
 
 class FactorizedPDN:
     """A PDN grid prepared for repeated golden solves.
 
     Assembly happens eagerly (so element errors surface at construction);
-    the LU factorisation is lazy and cached, so the first direct solve pays
-    it and every later solve is a pair of triangular substitutions.
+    the backend setup — LU factorisation on the direct path,
+    preconditioner build plus well-posedness checks on the CG path — is
+    lazy and cached, so the first solve pays it and every later solve
+    reuses it.  Both setups are accounted in ``factor_seconds``.
+
+    Parameters
+    ----------
+    method:
+        ``"direct"``, ``"cg"``, or ``"auto"`` (pick by system size
+        against :func:`direct_size_limit`).
+    precond:
+        CG preconditioner: ``"mg"`` (geometric multigrid), ``"ic"``
+        (incomplete factorisation), ``"jacobi"`` (diagonal), or
+        ``"auto"`` — multigrid when the node names carry grid
+        coordinates, incomplete factorisation otherwise.
+    warm_start:
+        When true, CG solves seed from the previous solve's mean
+        solution (the budget-sweep workload changes only the RHS
+        scaling).  Off by default: warm starts change the iterate path,
+        which matters to bit-reproducible suite builds.
+    system:
+        A pre-assembled :class:`~repro.solver.conductance.NodalSystem`
+        for this netlist (e.g. from a
+        :class:`~repro.solver.store.FactorizationStore`); skips
+        re-assembly.
     """
 
     def __init__(self, netlist: Netlist, method: str = "auto",
-                 cg_rtol: float = 1e-10, cg_maxiter: Optional[int] = None):
+                 cg_rtol: float = 1e-10, cg_maxiter: Optional[int] = None,
+                 precond: str = "auto", warm_start: bool = False,
+                 system: Optional[NodalSystem] = None):
         if method not in _METHODS:
             raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        if precond not in _PRECONDS:
+            raise ValueError(
+                f"precond must be one of {_PRECONDS}, got {precond!r}")
         self.netlist = netlist
         self.vdd = netlist.supply_voltage()
-        self.system = assemble_system(netlist)
+        self.system = assemble_system(netlist) if system is None else system
         self.method = method
+        self.precond = precond
         self.cg_rtol = cg_rtol
         self.cg_maxiter = cg_maxiter
+        self.warm_start = warm_start
         self.factor_seconds = 0.0
         self._lu = None
+        self._preconditioner = None
+        self._cg_ready = False
         self._connectivity_checked = False
+        self._last_solution: Optional[np.ndarray] = None
+        self._coords: Optional[np.ndarray] = None
+        self._coords_known = False
 
     @property
     def size(self) -> int:
@@ -71,7 +171,22 @@ class FactorizedPDN:
         """The backend ``"auto"`` resolves to for this grid."""
         if self.method != "auto":
             return self.method
-        return "direct" if self.size <= DIRECT_SIZE_LIMIT else "cg"
+        return "direct" if self.size <= direct_size_limit() else "cg"
+
+    def _grid_coordinates(self) -> Optional[np.ndarray]:
+        """Node coordinates, parsed once per instance — the scan applies
+        a regex to every free-node name, real money on >100k grids."""
+        if not self._coords_known:
+            self._coords = node_coordinates(self.system.free_nodes)
+            self._coords_known = True
+        return self._coords
+
+    @property
+    def resolved_precond(self) -> str:
+        """The preconditioner ``precond="auto"`` resolves to."""
+        if self.precond != "auto":
+            return self.precond
+        return "mg" if self._grid_coordinates() is not None else "ic"
 
     # ------------------------------------------------------------------
     # Linear-algebra backends
@@ -83,7 +198,7 @@ class FactorizedPDN:
                 self._lu = splu(sparse.csc_matrix(self.system.matrix))
             except RuntimeError as error:  # "Factor is exactly singular"
                 raise self._singular_error() from error
-            self.factor_seconds = time.perf_counter() - start
+            self.factor_seconds += time.perf_counter() - start
         return self._lu
 
     def _singular_error(self) -> ValueError:
@@ -121,29 +236,64 @@ class FactorizedPDN:
             raise self._singular_error()
         self._connectivity_checked = True
 
-    def _solve_cg(self, rhs: np.ndarray) -> np.ndarray:
+    def _build_preconditioner(self):
+        choice = self.resolved_precond
+        matrix = self.system.matrix
+        if choice == "mg":
+            coords = self._grid_coordinates()
+            if coords is None:
+                raise ValueError(
+                    f"precond='mg' needs grid coordinates in the node names "
+                    f"of {self.netlist.name!r}; use precond='ic' or 'auto'"
+                )
+            return MultigridPreconditioner(matrix, coords)
+        if choice == "ic":
+            return IncompleteCholeskyPreconditioner(matrix)
+        return JacobiPreconditioner(matrix)
+
+    def _cg_setup(self):
+        """One-time CG preparation, cached on the instance.
+
+        The well-posedness checks (positive diagonal, supply
+        reachability) and the preconditioner used to be rebuilt on every
+        ``_solve_cg`` call; they are paid once now, and the elapsed time
+        lands in ``factor_seconds`` exactly like the LU path's factor
+        time — so CG and direct report comparable setup costs.
+        """
+        if self._cg_ready:
+            return self._preconditioner
+        start = time.perf_counter()
         diagonal = self.system.matrix.diagonal()
         if not (diagonal > 0).all():
             # a free node with no resistive path has a zero diagonal
             raise self._singular_error()
         self._ensure_supplied_components()
-        preconditioner = sparse.diags(1.0 / diagonal)
+        self._preconditioner = self._build_preconditioner()
+        self.factor_seconds += time.perf_counter() - start
+        self._cg_ready = True
+        return self._preconditioner
+
+    def _solve_cg(self, rhs: np.ndarray) -> np.ndarray:
+        preconditioner = self._cg_setup()
         columns = np.atleast_2d(rhs.T).T  # (n,) -> (n, 1), (n, k) unchanged
-        out = np.empty_like(columns, dtype=float)
-        for j in range(columns.shape[1]):
-            with np.errstate(divide="ignore", invalid="ignore"):
-                # singular systems divide by zero inside CG; detected below
-                solution, info = cg(self.system.matrix, columns[:, j],
-                                    rtol=self.cg_rtol, atol=0.0,
-                                    maxiter=self.cg_maxiter, M=preconditioner)
-            if info != 0:
-                raise ValueError(
-                    f"CG failed to converge for {self.netlist.name!r} "
-                    f"(info={info}); the system may be singular or "
-                    "ill-conditioned — try method='direct'"
-                )
-            out[:, j] = solution
-        return out.reshape(rhs.shape)
+        x0 = None
+        if self.warm_start and self._last_solution is not None:
+            x0 = self._last_solution[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # singular systems divide by zero inside CG; detected below
+            result = block_cg(self.system.matrix, columns,
+                              preconditioner.apply, rtol=self.cg_rtol,
+                              atol=0.0, maxiter=self.cg_maxiter, x0=x0)
+        if not result.converged:
+            raise ValueError(
+                f"CG failed to converge for {self.netlist.name!r} "
+                f"({result.unconverged.size} of {columns.shape[1]} RHS "
+                f"columns); the system may be singular or ill-conditioned "
+                "— try method='direct'"
+            )
+        if self.warm_start:
+            self._last_solution = result.solution.mean(axis=1)
+        return result.solution.reshape(rhs.shape)
 
     def solve_vector(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``G x = rhs`` for one (n,) or many (n, k) RHS columns."""
@@ -164,8 +314,8 @@ class FactorizedPDN:
         """One golden solve; ``currents`` overrides the netlist's own loads.
 
         ``solve_seconds`` covers the linear solve including any
-        factorisation this call triggered (matching what a cold
-        ``spsolve`` would have paid).
+        factorisation or CG setup this call triggered (matching what a
+        cold ``spsolve`` would have paid).
         """
         rhs = self.system.rhs if currents is None else self.system.rhs_for(currents)
         start = time.perf_counter()
@@ -177,8 +327,10 @@ class FactorizedPDN:
         """Golden solves for many load maps on the same grid.
 
         All RHS vectors are solved in one batched call against the shared
-        factorisation; each result's ``solve_seconds`` is the batch time
-        amortised over the maps.
+        factorisation (direct) or in one block-CG sweep sharing every
+        iteration's matvec and preconditioner application (CG); each
+        result's ``solve_seconds`` is the batch time amortised over the
+        maps.
         """
         if not current_maps:
             return []
@@ -198,7 +350,9 @@ class FactorizedCache:
     Suite synthesis keys this by grid template, so every case sharing a
     PDN geometry reuses one :class:`FactorizedPDN` (and whatever other
     per-template payload the builder bundles with it): the factorisation
-    is paid once per *template* instead of once per *case*.
+    is paid once per *template* instead of once per *case*.  For reuse
+    across processes and restarts, see the disk-persistent
+    :class:`repro.solver.store.FactorizationStore`.
 
     ``maxsize=0`` disables storage entirely (every lookup rebuilds), which
     is the no-reuse baseline the suite-synthesis benchmark measures

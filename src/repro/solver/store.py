@@ -1,0 +1,161 @@
+"""Disk-persistent store of prepared solver state.
+
+The in-memory :class:`~repro.solver.factorized.FactorizedCache` amortises
+template setup within one process; this store extends the same idea
+across processes and restarts.  ``stream_suite`` workers, ``resume=True``
+re-runs and entirely separate builds that share a grid template skip the
+expensive part of template setup — grid construction, pruning, sparse
+assembly and the geometry feature rasters — by loading the flattened
+arrays from disk.
+
+Entries follow the manifest provenance scheme of :mod:`repro.data.io`:
+
+* one directory per entry (``<root>/<key>/``), keyed by a hash of the
+  entry's JSON *identity* (template spec + synthesis settings);
+* the binary payload (``payload.npz``) is written first and
+  ``meta.json`` — which records the full identity — last, so a readable
+  meta file is the completion marker;
+* a hit requires the stored identity to equal the requested one
+  byte-for-byte after JSON normalisation; anything else (missing files,
+  truncated npz, tampered meta, hash collision) is *refused* and treated
+  as a miss, so a corrupt entry can never poison a build — it is simply
+  rebuilt and overwritten.
+
+Array payloads round-trip bit-exactly through ``npz`` (unlike the
+``%.6g`` SPICE text format), and the numeric factorisation itself is
+recomputed lazily from the stored CSR buffers — SuperLU handles are not
+serialisable, but factoring identical bytes is deterministic, so a store
+hit produces bit-identical golden solves (and therefore bit-identical
+suite manifests and case files) to a cold build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import zipfile
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["FactorizationStore", "STORE_FORMAT", "STORE_ENV"]
+
+STORE_FORMAT = "lmm-ir-factorization-store-v1"
+
+STORE_ENV = "REPRO_FACTOR_STORE"
+"""Setting this environment variable to a directory enables the store for
+suite synthesis without threading a path through every call site."""
+
+_META_FILE = "meta.json"
+_PAYLOAD_FILE = "payload.npz"
+
+
+def _canonical(identity: dict) -> str:
+    """Deterministic JSON encoding (the hashing/equality normal form)."""
+    return json.dumps(identity, sort_keys=True, separators=(",", ":"))
+
+
+class FactorizationStore:
+    """Content-addressed directory of flattened solver-setup payloads.
+
+    The store is deliberately generic: it maps a JSON identity to a dict
+    of numpy arrays.  What goes into the payload (netlist elements,
+    assembled system, geometry rasters) is the caller's business — see
+    :mod:`repro.data.synthesis` for the template-runtime packing.
+
+    Writes are crash- and race-safe: the payload lands in a
+    process-private temporary directory that is renamed into place only
+    after ``meta.json`` completes; losing a rename race to a concurrent
+    worker just discards the duplicate.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(os.fspath(root))
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    @staticmethod
+    def entry_key(identity: dict) -> str:
+        """Directory name for an identity (hash of its canonical JSON)."""
+        return hashlib.sha256(_canonical(identity).encode()).hexdigest()[:24]
+
+    def entry_dir(self, identity: dict) -> str:
+        return os.path.join(self.root, self.entry_key(identity))
+
+    # ------------------------------------------------------------------
+    def load(self, identity: dict) -> Optional[Dict[str, np.ndarray]]:
+        """The stored arrays for ``identity``, or ``None`` on a miss.
+
+        Unreadable, incomplete, or identity-mismatched entries are
+        refused (counted in ``corrupt``) and reported as misses.
+        """
+        directory = self.entry_dir(identity)
+        meta_path = os.path.join(directory, _META_FILE)
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            if os.path.isdir(directory):
+                self.corrupt += 1
+            return None
+        if (meta.get("format") != STORE_FORMAT
+                or _canonical(meta.get("identity", {})) != _canonical(identity)):
+            self.misses += 1
+            self.corrupt += 1
+            return None
+        try:
+            with np.load(os.path.join(directory, _PAYLOAD_FILE)) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile):  # truncated-but-zip-magic payloads
+            self.misses += 1
+            self.corrupt += 1
+            return None
+        self.hits += 1
+        return arrays
+
+    def save(self, identity: dict, arrays: Dict[str, np.ndarray]) -> bool:
+        """Persist ``arrays`` under ``identity``; returns whether this
+        process's write ended up on disk (``False`` = lost the rename
+        race to a concurrent writer, which stored the same content).
+
+        Only that final-rename race is swallowed: a store that cannot be
+        written at all (read-only mount, full disk) raises, because
+        silently degrading to rebuild-every-template-forever with empty
+        stats would be undiagnosable.
+        """
+        directory = self.entry_dir(identity)
+        staging = f"{directory}.tmp.{os.getpid()}"
+        os.makedirs(staging, exist_ok=True)
+        try:
+            np.savez(os.path.join(staging, _PAYLOAD_FILE), **arrays)
+            meta = {"format": STORE_FORMAT, "identity": identity}
+            # meta.json last: its presence marks a complete entry
+            with open(os.path.join(staging, _META_FILE), "w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+            if os.path.isdir(directory):
+                # overwrite (e.g. a corrupt entry being rebuilt); if the
+                # old entry cannot be removed, that is an unwritable
+                # store, not a race — raise rather than degrade silently
+                shutil.rmtree(directory)
+            try:
+                os.rename(staging, directory)
+            except OSError:
+                # a concurrent worker renamed its entry in first
+                return False
+            return True
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FactorizationStore(root={self.root!r}, hits={self.hits}, "
+                f"misses={self.misses}, corrupt={self.corrupt})")
