@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.pipeline import IRPredictor
+from repro.core.pipeline import IRPredictor, resolve_engine_mode
 from repro.core.registry import MODEL_REGISTRY, ModelSpec
 from repro.data.dataset import IRDropDataset, ShardedSuiteDataset
 from repro.data.io import SuiteManifest, manifest_filename
@@ -73,6 +73,17 @@ class EvalConfig:
     retrain: bool = False
     """Force training even when a matching checkpoint exists (the
     checkpoint is then overwritten with the fresh weights)."""
+    infer_engine: Union[bool, str] = "auto"
+    """Forward executor for evaluation predictors: ``"auto"`` compiles
+    the grad-free inference engine (falling back to autograd when a model
+    cannot be compiled), ``True`` requires it, ``False`` forces the
+    autograd forward.  Checkpoint-loaded weights compile directly — the
+    engine traces the model as restored, no retraining involved."""
+    infer_dtype: Optional[str] = None
+    """Inference-engine precision: ``None`` honours ``REPRO_INFER_DTYPE``
+    and defaults to float64, which is bit-exact against the autograd
+    forward (scores cannot change); ``"float32"`` opts into the
+    reduced-precision serving mode."""
 
     @classmethod
     def from_env(cls, **overrides) -> "EvalConfig":
@@ -100,6 +111,8 @@ class EvalConfig:
             checkpoint_dir=os.environ.get("REPRO_EVAL_CHECKPOINT_DIR") or None,
             retrain=os.environ.get("REPRO_EVAL_RETRAIN", "").lower()
             in ("1", "true", "yes"),
+            infer_engine=resolve_engine_mode("auto"),
+            infer_dtype=os.environ.get("REPRO_INFER_DTYPE") or None,
         )
         for key, value in overrides.items():
             setattr(config, key, value)
@@ -327,7 +340,9 @@ def train_predictor(spec_name: str, suite: SuiteSource,
             recorded = _load_checkpoint(config.checkpoint_dir, identity, model)
             if recorded is not None:
                 predictor = IRPredictor(model, preprocessor, name=spec_name,
-                                        tta_samples=spec.tta_samples)
+                                        tta_samples=spec.tta_samples,
+                                        engine=config.infer_engine,
+                                        infer_dtype=config.infer_dtype)
                 return predictor, recorded
 
     dataset = IRDropDataset.with_oversampling(
@@ -351,7 +366,9 @@ def train_predictor(spec_name: str, suite: SuiteSource,
     if identity is not None:
         _save_checkpoint(config.checkpoint_dir, identity, model, elapsed)
     predictor = IRPredictor(model, preprocessor, name=spec_name,
-                            tta_samples=spec.tta_samples)
+                            tta_samples=spec.tta_samples,
+                            engine=config.infer_engine,
+                            infer_dtype=config.infer_dtype)
     return predictor, elapsed
 
 

@@ -1,0 +1,128 @@
+"""Shape-keyed buffer arena for the grad-free inference engine.
+
+Every intermediate an :class:`~repro.infer.engine.InferenceEngine` plan
+produces lives in an arena buffer.  Internally the arena pools raw byte
+chunks and hands out dtype/shape *views*, preferring the most recently
+released chunk that fits (exact size first, then best fit).  That
+mirrors what glibc's allocator does for the autograd path's temporaries
+— consecutive convolutions write into the same cache-warm region — but
+without ever touching the allocator in steady state: a plan acquires
+what it needs step by step and releases each buffer at its last use, so
+a second forward of the same shape reuses exactly the chunks the first
+one released, allocating nothing.  :meth:`BufferArena.freeze` turns that
+steady-state claim into a hard assertion: a frozen arena raises instead
+of allocating.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BufferArena", "ArenaFrozenError"]
+
+#: a pooled chunk may serve a request down to 1/4 of its size; anything
+#: smaller would waste too much of the chunk
+_FIT_RATIO = 4
+
+
+class ArenaFrozenError(RuntimeError):
+    """Raised when a frozen arena would have to allocate a new buffer."""
+
+
+class BufferArena:
+    """Pool of reusable byte chunks served as shaped ndarray views."""
+
+    def __init__(self):
+        self._free: List[np.ndarray] = []   # release order (oldest first)
+        self._live: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._frozen = False
+        self.allocations = 0
+        self.allocated_bytes = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, shape: tuple, dtype,
+                nbytes_hint: int = None) -> np.ndarray:
+        """Return a buffer of the requested shape/dtype, reusing a pooled
+        chunk when one fits and allocating otherwise.
+
+        Without a hint the most recently released chunk that fits (exact
+        size first, then best fit within ``_FIT_RATIO``) is reused — the
+        cache-warm choice.  With ``nbytes_hint`` (a chunk size recorded
+        from a previous run of the same plan) only chunks of exactly that
+        size are reused, which makes replays deterministic: a schedule
+        that ran once can always run again without allocating.
+        """
+        dtype = np.dtype(dtype)
+        count = math.prod(shape) if shape else 1
+        nbytes = max(count * dtype.itemsize, 1)
+        chosen = None
+        if nbytes_hint is not None:
+            for position in range(len(self._free) - 1, -1, -1):
+                if self._free[position].nbytes == nbytes_hint:
+                    chosen = position
+                    break
+        else:
+            for position in range(len(self._free) - 1, -1, -1):
+                size = self._free[position].nbytes
+                if size == nbytes:
+                    chosen = position
+                    break
+                if (size > nbytes and size <= nbytes * _FIT_RATIO
+                        and (chosen is None
+                             or size < self._free[chosen].nbytes)):
+                    chosen = position
+        if chosen is not None:
+            chunk = self._free.pop(chosen)
+        else:
+            if self._frozen:
+                raise ArenaFrozenError(
+                    f"frozen arena asked to allocate {shape} {dtype} — the "
+                    "warm-up forward did not cover this buffer"
+                )
+            chunk = np.empty(max(nbytes_hint or 0, nbytes), dtype=np.uint8)
+            self.allocations += 1
+            self.allocated_bytes += chunk.nbytes
+        view = chunk[:count * dtype.itemsize].view(dtype).reshape(shape)
+        self._live[id(view)] = (chunk, view)
+        return view
+
+    def chunk_nbytes(self, array: np.ndarray) -> int:
+        """Size of the pooled chunk backing a live view from :meth:`acquire`."""
+        return self._live[id(array)][0].nbytes
+
+    def release(self, array: np.ndarray) -> None:
+        """Return a view handed out by :meth:`acquire` to the pool."""
+        entry = self._live.pop(id(array), None)
+        if entry is None:
+            raise KeyError("release of a buffer this arena did not hand out")
+        self._free.append(entry[0])
+
+    # ------------------------------------------------------------------
+    def freeze(self, frozen: bool = True) -> None:
+        """Forbid (or re-allow) new allocations; reuse keeps working."""
+        self._frozen = frozen
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def pooled(self) -> int:
+        """Number of chunks currently sitting in the free pool."""
+        return len(self._free)
+
+    @property
+    def live(self) -> int:
+        """Number of views currently checked out."""
+        return len(self._live)
+
+    def clear(self) -> None:
+        """Drop all pooled chunks (counters are kept)."""
+        self._free.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BufferArena(allocations={self.allocations}, "
+                f"bytes={self.allocated_bytes}, pooled={self.pooled})")

@@ -1,0 +1,170 @@
+"""Grad-free inference engine: compiled forwards over a buffer arena.
+
+:class:`InferenceEngine` turns an eval-mode :class:`~repro.nn.module.Module`
+into shape-specialised kernel plans.  The first forward of a new input
+signature traces the model once (an ordinary autograd forward under
+``no_grad``), compiles the trace (constant folding, optional BatchNorm
+weight folding, bias+ReLU epilogue fusion, in-place planning, buffer
+liveness) and caches the plan; every following forward of that signature
+replays the plan with buffers from a shape-keyed
+:class:`~repro.infer.arena.BufferArena`, allocating nothing.
+
+Numerics:
+
+* ``dtype="float64"`` (default) — **bit-exact** against
+  ``model.forward``: every step runs the same ufunc/matmul sequence on
+  the same values; only allocation and dispatch overhead is removed.
+  BatchNorm folding is off because it would change summation order.
+* ``dtype="float32"`` — reduced-precision serving mode (also selectable
+  via ``REPRO_INFER_DTYPE``): constants are cast once, buffers halve,
+  BLAS runs single-precision, and BatchNorm folding defaults on.
+  Outputs agree with the float64 forward to ~1e-5 relative.
+
+The engine snapshots weights at compile time: call :meth:`refresh` after
+mutating parameters (e.g. ``load_state_dict``) to drop stale plans.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.infer.arena import BufferArena
+from repro.infer.plan import Plan, compile_plan
+from repro.infer.trace import InferenceUnsupportedError, trace_module
+
+__all__ = ["InferenceEngine", "resolve_infer_dtype", "INFER_DTYPE_ENV"]
+
+INFER_DTYPE_ENV = "REPRO_INFER_DTYPE"
+_SUPPORTED_DTYPES = ("float64", "float32")
+
+
+def resolve_infer_dtype(dtype=None) -> np.dtype:
+    """Resolve the engine dtype: explicit value > ``REPRO_INFER_DTYPE`` >
+    float64 (the bit-exact default)."""
+    if dtype is None:
+        dtype = os.environ.get(INFER_DTYPE_ENV) or "float64"
+    resolved = np.dtype(dtype)
+    if resolved.name not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported inference dtype {resolved.name!r}; "
+            f"expected one of {_SUPPORTED_DTYPES}")
+    return resolved
+
+
+class InferenceEngine:
+    """Compile-and-replay executor for a fixed-weight model."""
+
+    def __init__(self, model, dtype=None, fold_bn: Optional[bool] = None,
+                 fuse: bool = True, arena: Optional[BufferArena] = None,
+                 validate: bool = True):
+        self.model = model
+        self.dtype = resolve_infer_dtype(dtype)
+        self.fold_bn = (bool(fold_bn) if fold_bn is not None
+                        else self.dtype == np.dtype("float32"))
+        self.fuse = bool(fuse)
+        self.validate = bool(validate)
+        self.arena = arena if arena is not None else BufferArena()
+        self._plans: Dict[tuple, Plan] = {}
+        self._const_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def _const(self, array: np.ndarray) -> np.ndarray:
+        """Cast a float constant to the engine dtype, once per array."""
+        if array.dtype.kind != "f" or array.dtype == self.dtype:
+            return array
+        key = id(array)
+        hit = self._const_cache.get(key)
+        if hit is not None and hit[0] is array:
+            return hit[1]
+        cast = array.astype(self.dtype)
+        self._const_cache[key] = (array, cast)
+        return cast
+
+    @staticmethod
+    def _signature(args) -> tuple:
+        return tuple((a.shape, a.dtype.str, a.flags.c_contiguous)
+                     for a in args)
+
+    # ------------------------------------------------------------------
+    def compile(self, *args) -> Plan:
+        """Trace and compile a plan for this input signature (cached).
+
+        With ``validate`` (the default) the fresh plan is replayed on a
+        *perturbed* copy of the inputs and checked against the autograd
+        forward before being accepted.  The trace cannot see raw-numpy
+        computation a forward performs on ``.data`` between traced ops —
+        such values would be silently baked into the plan as the first
+        batch's constants — so any input dependence the plan fails to
+        reproduce is caught here and surfaces as
+        :class:`InferenceUnsupportedError` (an ``"auto"`` predictor then
+        falls back to autograd instead of serving corrupt outputs).
+        """
+        arrays = tuple(np.asarray(arg) for arg in args)
+        signature = self._signature(arrays)
+        plan = self._plans.get(signature)
+        if plan is None:
+            trace = trace_module(self.model, arrays)
+            arg_contiguous = {index: arrays[index].flags.c_contiguous
+                              for index in range(len(arrays))}
+            plan = compile_plan(trace, self.dtype, self.fold_bn, self.fuse,
+                                self._const, arg_contiguous)
+            if self.validate:
+                self._validate_plan(plan, arrays)
+            self._plans[signature] = plan
+        return plan
+
+    def _validate_plan(self, plan: Plan, arrays) -> None:
+        rng = np.random.default_rng(0x1AFE)
+        perturbed = tuple(
+            np.asarray(arg + rng.standard_normal(arg.shape)
+                       * (float(np.std(arg)) + 1e-3), dtype=arg.dtype)
+            if arg.dtype.kind == "f" else arg
+            for arg in arrays)
+        from repro.nn.tensor import Tensor, no_grad
+        with no_grad():
+            reference = self.model(*[Tensor(p) for p in perturbed]).data
+        replayed = plan.run(perturbed, self.arena)
+        if self.dtype == reference.dtype and not self.fold_bn:
+            ok = np.array_equal(reference, replayed)
+        else:
+            # BN folding reassociates (~1 ulp) and float32 rounds; either
+            # way a baked intermediate is an O(1) error, far above this
+            tolerance = 1e-9 if self.dtype == reference.dtype else 1e-3
+            scale = max(float(np.max(np.abs(reference))), 1e-12)
+            ok = (float(np.max(np.abs(
+                np.asarray(replayed, dtype=np.float64) - reference)))
+                / scale) <= tolerance
+        if not ok:
+            raise InferenceUnsupportedError(
+                "compiled plan does not reproduce the model forward on a "
+                "perturbed input — the forward likely computes on raw "
+                ".data between traced ops, which a plan would freeze at "
+                "the first batch's values")
+
+    def run(self, *args) -> np.ndarray:
+        """One forward; returns a fresh array in the engine dtype."""
+        if getattr(self.model, "training", False):
+            raise InferenceUnsupportedError(
+                "InferenceEngine.run requires eval mode; call model.eval()")
+        arrays = tuple(np.asarray(arg) for arg in args)
+        plan = self._plans.get(self._signature(arrays))
+        if plan is None:
+            plan = self.compile(*arrays)
+        return plan.run(arrays, self.arena)
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Drop compiled plans and cast constants (after weight updates)."""
+        self._plans.clear()
+        self._const_cache.clear()
+
+    @property
+    def plan_count(self) -> int:
+        return len(self._plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InferenceEngine(dtype={self.dtype.name}, "
+                f"fold_bn={self.fold_bn}, plans={self.plan_count})")

@@ -1,0 +1,528 @@
+"""Trace-to-plan compiler and the plan runtime.
+
+``compile_plan`` lowers a :class:`~repro.infer.trace.Trace` into a flat
+:class:`Plan` of kernel steps through a short pass pipeline:
+
+1. **constant folding** — ops fed only by constants (parameter reshapes,
+   BatchNorm statistic views, positional tables) are replaced by their
+   traced value;
+2. **BatchNorm folding** (opt-in, ``fold_bn``) — a per-channel affine
+   chain of ``sub/mul/add/div``-by-constant ops following a Conv2d /
+   ConvTranspose2d / Linear-matmul is folded into the producer's weights
+   and bias.  This changes summation order (≈1 ulp at float64), so it is
+   off in the bit-exact default and on in reduced-precision mode;
+3. **epilogue fusion** (``fuse``) — a constant bias-add and/or ReLU that
+   solely consumes a conv/matmul output becomes an in-place epilogue of
+   that step.  Both rewrites are arithmetic-identical to the unfused op
+   sequence, so they stay on in the bit-exact default;
+4. **dead-code elimination** and **in-place planning** — single-consumer
+   elementwise ops write into their dying input's buffer;
+5. **liveness** — every arena buffer is released at its last use, so the
+   live set tracks the model's activation footprint and a same-shape
+   re-run allocates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.infer.arena import BufferArena
+from repro.infer.steps import (
+    INPLACE_SAFE,
+    Step,
+    _structural_index,
+    build_step,
+)
+from repro.infer.trace import InferenceUnsupportedError, Trace, TraceNode
+
+__all__ = ["Plan", "compile_plan"]
+
+_FOLDABLE_PRODUCERS = ("conv2d", "conv_transpose2d", "matmul")
+_AFFINE_OPS = ("add", "sub", "mul", "div")
+
+#: ops whose meta carries runtime array data the trace cannot prove
+#: constant — never fold them into plan constants (and their builders
+#: refuse compilation), otherwise the first batch's data would be baked
+#: into every later forward
+_META_SENSITIVE = ("embedding", "where", "dropout")
+
+
+def _bakes_runtime_meta(node: TraceNode) -> bool:
+    if node.op in _META_SENSITIVE:
+        return True
+    return node.op == "getitem" and not _structural_index(node.meta["index"])
+
+
+# ----------------------------------------------------------------------
+# Build-time context handed to the step builders
+# ----------------------------------------------------------------------
+class _BuildContext:
+    def __init__(self, nodes, const_of, replacements, dtype, const_fn,
+                 arg_contiguous):
+        self.nodes = nodes
+        self.const_of = const_of
+        self.replacements = replacements
+        self.dtype = np.dtype(dtype)
+        self._const_fn = const_fn
+        self.arg_contiguous = arg_contiguous
+        self.kinds: Dict[int, str] = {}    # node idx -> buffer/alias/view/...
+        self.roots: Dict[int, Optional[int]] = {}
+        self.consumer_count: Dict[int, int] = {}
+        self.env_inputs: List[int] = []    # env slots read by current step
+        self._current: Optional[TraceNode] = None
+
+    # -- ref resolution -------------------------------------------------
+    def follow(self, index: int) -> int:
+        while index in self.replacements:
+            index = self.replacements[index]
+        return index
+
+    def resolve_ref(self, ref):
+        if ref[0] == "const":
+            return ref
+        index = self.follow(ref[1])
+        value = self.const_of[index]
+        if value is not None:
+            return ("const", value)
+        return ("node", index)
+
+    def resolve(self, ref):
+        """Bind a ref for a step: env slot (int) or cast constant array."""
+        kind, payload = self.resolve_ref(ref)
+        if kind == "const":
+            return self.const(payload)
+        self.env_inputs.append(payload)
+        return payload
+
+    def const(self, array: np.ndarray) -> np.ndarray:
+        return self._const_fn(np.asarray(array))
+
+    def const_input(self, ref, what: str) -> np.ndarray:
+        kind, payload = self.resolve_ref(ref)
+        if kind != "const":
+            raise InferenceUnsupportedError(f"{what} is not constant")
+        return self.const(payload)
+
+    # -- metadata -------------------------------------------------------
+    def spec(self, node: TraceNode):
+        return (node.shape, self.dtype)
+
+    def shape_of(self, ref) -> tuple:
+        kind, payload = self.resolve_ref(ref)
+        if kind == "const":
+            return payload.shape
+        return self.nodes[payload].shape
+
+    def is_contiguous(self, ref) -> bool:
+        kind, payload = self.resolve_ref(ref)
+        if kind == "const":
+            return payload.flags.c_contiguous
+        node = self.nodes[payload]
+        if node.op == "arg":
+            return self.arg_contiguous[payload]
+        if node.value is not None:
+            return node.value.flags.c_contiguous
+        return False
+
+    def reshape_is_view(self, ref, shape) -> bool:
+        kind, payload = self.resolve_ref(ref)
+        if kind == "const":
+            return False  # consts are folded before this matters
+        node = self.nodes[payload]
+        if node.op == "arg":
+            return self.arg_contiguous[payload]
+        traced = node.value
+        if traced is None:
+            return False
+        reshaped = traced.reshape(shape)
+        return np.shares_memory(reshaped, traced)
+
+    # -- in-place planning ----------------------------------------------
+    def root_of(self, index: int) -> Optional[int]:
+        return self.roots.get(index)
+
+    def try_inplace(self, node: TraceNode, input_pos: int) -> Optional[int]:
+        if node.op not in INPLACE_SAFE:
+            return None
+        kind, payload = self.resolve_ref(node.inputs[input_pos])
+        if kind != "node":
+            return None
+        index = payload
+        if self.kinds.get(index) not in ("buffer", "alias"):
+            return None
+        if self.nodes[index].shape != node.shape:
+            return None
+        if self.consumer_count.get(index, 0) != 1:
+            return None
+        root = self.root_of(index)
+        for pos, other in enumerate(node.inputs):
+            if pos == input_pos:
+                continue
+            other_kind, other_payload = self.resolve_ref(other)
+            if other_kind == "node" and self.root_of(other_payload) == root:
+                return None  # overlapping read/write through another view
+        return index
+
+
+# ----------------------------------------------------------------------
+# Fusion helpers
+# ----------------------------------------------------------------------
+def _channel_template(node: TraceNode):
+    """(channel count, broadcast template shape) for a foldable producer."""
+    if node.op == "matmul":
+        return node.shape[-1], (node.shape[-1],)
+    return node.shape[1], (1, node.shape[1], 1, 1)
+
+
+def _per_channel_vector(const: np.ndarray, template: tuple,
+                        channels: int) -> Optional[np.ndarray]:
+    try:
+        broadcast = np.broadcast_to(np.asarray(const, dtype=np.float64),
+                                    template)
+    except ValueError:
+        return None
+    return np.array(broadcast, dtype=np.float64).reshape(channels)
+
+
+def _build_consumers(nodes, const_of, dead, ctx, out_ref):
+    consumers: Dict[int, List[int]] = {}
+    for i, node in enumerate(nodes):
+        if node.op == "arg" or i in dead or const_of[i] is not None:
+            continue
+        for ref in node.inputs:
+            kind, payload = ctx.resolve_ref(ref)
+            if kind == "node":
+                consumers.setdefault(payload, []).append(i)
+    kind, payload = ctx.resolve_ref(out_ref)
+    if kind == "node":
+        consumers.setdefault(payload, []).append(-1)
+    return consumers
+
+
+def _fold_batchnorm(nodes, const_of, dead, ctx, out_ref):
+    """Fold per-channel affine chains into preceding conv/linear weights."""
+    consumers = _build_consumers(nodes, const_of, dead, ctx, out_ref)
+    for i, node in enumerate(nodes):
+        if (node.op not in _FOLDABLE_PRODUCERS or i in dead
+                or const_of[i] is not None):
+            continue
+        weight_ref = ctx.resolve_ref(node.inputs[1])
+        if weight_ref[0] != "const":
+            continue
+        weight = np.asarray(weight_ref[1], dtype=np.float64)
+        if node.op == "matmul" and weight.ndim != 2:
+            continue
+        channels, template = _channel_template(node)
+        scale = np.ones(channels)
+        shift = np.zeros(channels)
+        absorbed: List[int] = []
+        cursor = i
+        while True:
+            chain = consumers.get(cursor, [])
+            if len(chain) != 1 or chain[0] == -1:
+                break
+            nxt = chain[0]
+            nxt_node = nodes[nxt]
+            if nxt_node.op not in _AFFINE_OPS or nxt_node.shape != node.shape:
+                break
+            refs = [ctx.resolve_ref(ref) for ref in nxt_node.inputs]
+            if refs[0] == ("node", cursor):
+                other = refs[1]
+            elif (refs[1] == ("node", cursor)
+                  and nxt_node.op in ("add", "mul")):
+                other = refs[0]
+            else:
+                break
+            if other[0] != "const":
+                break
+            vector = _per_channel_vector(other[1], template, channels)
+            if vector is None:
+                break
+            if nxt_node.op == "add":
+                shift = shift + vector
+            elif nxt_node.op == "sub":
+                shift = shift - vector
+            elif nxt_node.op == "mul":
+                scale = scale * vector
+                shift = shift * vector
+            else:  # div
+                scale = scale / vector
+                shift = shift / vector
+            absorbed.append(nxt)
+            cursor = nxt
+        if not absorbed:
+            continue
+        if node.op == "conv2d":
+            folded = weight * scale[:, None, None, None]
+        elif node.op == "conv_transpose2d":
+            folded = weight * scale[None, :, None, None]
+        else:
+            folded = weight * scale[None, :]
+        node.inputs[1] = ("const", folded)
+        if node.op == "matmul":
+            if np.any(shift):
+                node.ep_bias.append(shift)
+        else:
+            if len(node.inputs) > 2:
+                bias_ref = ctx.resolve_ref(node.inputs[2])
+                if bias_ref[0] != "const":
+                    raise InferenceUnsupportedError(
+                        f"{node.op} bias is not constant")
+                bias = np.asarray(bias_ref[1], dtype=np.float64)
+                node.inputs[2] = ("const", bias * scale + shift)
+            elif np.any(shift):
+                node.inputs.append(("const", shift))
+        for index in absorbed:
+            dead.add(index)
+            ctx.replacements[index] = i
+
+
+def _fuse_epilogues(nodes, const_of, dead, ctx, out_ref):
+    """Absorb sole-consumer bias adds and ReLUs into conv/matmul steps."""
+    while True:
+        consumers = _build_consumers(nodes, const_of, dead, ctx, out_ref)
+        progress = False
+        for i, node in enumerate(nodes):
+            if (node.op not in _FOLDABLE_PRODUCERS or i in dead
+                    or const_of[i] is not None or node.ep_relu):
+                continue
+            chain = consumers.get(i, [])
+            if len(chain) != 1 or chain[0] == -1:
+                continue
+            nxt = chain[0]
+            nxt_node = nodes[nxt]
+            if (nxt_node.op == "relu"
+                    and ctx.resolve_ref(nxt_node.inputs[0]) == ("node", i)):
+                node.ep_relu = True
+            elif nxt_node.op == "add" and nxt_node.shape == node.shape:
+                refs = [ctx.resolve_ref(ref) for ref in nxt_node.inputs]
+                if refs[0] == ("node", i) and refs[1][0] == "const":
+                    const = refs[1][1]
+                elif refs[1] == ("node", i) and refs[0][0] == "const":
+                    const = refs[0][1]
+                else:
+                    continue
+                if np.broadcast_shapes(const.shape, node.shape) != node.shape:
+                    continue
+                node.ep_bias.append(np.asarray(const, dtype=np.float64))
+            else:
+                continue
+            dead.add(nxt)
+            ctx.replacements[nxt] = i
+            progress = True
+        if not progress:
+            return
+
+
+# ----------------------------------------------------------------------
+# Plan
+# ----------------------------------------------------------------------
+class Plan:
+    """A compiled forward: ordered kernel steps plus buffer bookkeeping."""
+
+    __slots__ = ("steps", "n_nodes", "n_args", "arg_plan", "out_index",
+                 "out_const", "dtype", "_chunk_sizes")
+
+    def __init__(self, steps: List[Step], n_nodes: int, n_args: int,
+                 arg_plan, out_index: Optional[int],
+                 out_const: Optional[np.ndarray], dtype):
+        self.steps = steps
+        self.n_nodes = n_nodes
+        self.n_args = n_args
+        self.arg_plan = arg_plan      # [(arg position, node idx, cast spec|None)]
+        self.out_index = out_index
+        self.out_const = out_const
+        self.dtype = np.dtype(dtype)
+        # chunk sizes recorded on the first successful run; replayed as
+        # exact-match hints so later runs are deterministic and never
+        # allocate (see BufferArena.acquire)
+        self._chunk_sizes: Optional[List[int]] = None
+
+    def run(self, args, arena: BufferArena) -> np.ndarray:
+        if len(args) != self.n_args:
+            raise ValueError(
+                f"plan compiled for {self.n_args} inputs, got {len(args)}")
+        env: List[Optional[np.ndarray]] = [None] * self.n_nodes
+        held: Dict[int, np.ndarray] = {}
+        scratch: List[np.ndarray] = []
+        hints = self._chunk_sizes
+        recorded: Optional[List[int]] = [] if hints is None else None
+        cursor = 0
+
+        def acquire(spec):
+            nonlocal cursor
+            hint = hints[cursor] if hints is not None else None
+            cursor += 1
+            buffer = arena.acquire(spec[0], spec[1], hint)
+            if recorded is not None:
+                recorded.append(arena.chunk_nbytes(buffer))
+            return buffer
+
+        try:
+            for position, index, cast_spec in self.arg_plan:
+                if cast_spec is None:
+                    env[index] = args[position]
+                else:
+                    buffer = acquire(cast_spec)
+                    np.copyto(buffer, args[position])
+                    env[index] = buffer
+                    held[index] = buffer
+            for step in self.steps:
+                out = None
+                if step.out_spec is not None:
+                    out = acquire(step.out_spec)
+                    held[step.index] = out
+                for spec in step.scratch_specs:
+                    # tracked incrementally so the finally-block can
+                    # release them if the step (or an acquire) raises
+                    scratch.append(acquire(spec))
+                env[step.index] = step.run(env, out, scratch)
+                while scratch:
+                    arena.release(scratch.pop())
+                for index in step.release_after:
+                    buffer = held.pop(index, None)
+                    if buffer is not None:
+                        arena.release(buffer)
+            if self.out_const is not None:
+                result = self.out_const.copy()
+            else:
+                result = np.array(env[self.out_index], copy=True)
+            if recorded is not None:
+                self._chunk_sizes = recorded
+            return result
+        finally:
+            while scratch:
+                arena.release(scratch.pop())
+            for buffer in held.values():
+                arena.release(buffer)
+
+
+# ----------------------------------------------------------------------
+# Compiler
+# ----------------------------------------------------------------------
+def compile_plan(trace: Trace, dtype, fold_bn: bool, fuse: bool,
+                 const_fn, arg_contiguous: Dict[int, bool]) -> Plan:
+    nodes = trace.nodes
+    const_of: List[Optional[np.ndarray]] = [None] * len(nodes)
+    dead: set = set()
+    ctx = _BuildContext(nodes, const_of, {}, dtype, const_fn, arg_contiguous)
+
+    # 1. constant folding (the traced values ARE the folded results)
+    for i, node in enumerate(nodes):
+        if node.op == "arg" or not node.inputs or _bakes_runtime_meta(node):
+            continue
+        if all(ctx.resolve_ref(ref)[0] == "const" for ref in node.inputs):
+            const_of[i] = node.value
+
+    # 2./3. graph rewrites
+    if fold_bn:
+        _fold_batchnorm(nodes, const_of, dead, ctx, trace.out_ref)
+    if fuse:
+        _fuse_epilogues(nodes, const_of, dead, ctx, trace.out_ref)
+
+    # 4. reachability from the output
+    out_kind, out_payload = ctx.resolve_ref(trace.out_ref)
+    if out_kind == "const" and trace.n_args:
+        # a constant output for a model WITH inputs almost certainly means
+        # the forward computed something outside the traced op set (raw
+        # numpy on .data); replaying it would freeze one input's answer
+        raise InferenceUnsupportedError(
+            "traced output does not depend on the model inputs; the "
+            "forward computes outside the traced op set")
+    live = set()
+    if out_kind == "node":
+        stack = [out_payload]
+        while stack:
+            index = stack.pop()
+            if index in live:
+                continue
+            live.add(index)
+            for ref in nodes[index].inputs:
+                kind, payload = ctx.resolve_ref(ref)
+                if kind == "node" and payload not in live:
+                    stack.append(payload)
+
+    # final consumer counts (for in-place planning)
+    counts: Dict[int, int] = {}
+    for i in sorted(live):
+        node = nodes[i]
+        if node.op == "arg":
+            continue
+        for ref in node.inputs:
+            kind, payload = ctx.resolve_ref(ref)
+            if kind == "node":
+                counts[payload] = counts.get(payload, 0) + 1
+    if out_kind == "node":
+        counts[out_payload] = counts.get(out_payload, 0) + 1
+    ctx.consumer_count = counts
+
+    # argument binding (cast to the plan dtype when needed)
+    plan_dtype = np.dtype(dtype)
+    arg_plan = []
+    for index in range(trace.n_args):
+        node = nodes[index]
+        if index not in live:
+            continue
+        if node.dtype != plan_dtype:
+            spec = (node.shape, plan_dtype)
+            ctx.kinds[index] = "buffer"
+            ctx.roots[index] = index
+        else:
+            spec = None
+            ctx.kinds[index] = "external"
+            ctx.roots[index] = None
+        arg_plan.append((node.meta["position"], index, spec))
+
+    # 5. build steps in trace order
+    steps: List[Step] = []
+    for i, node in enumerate(nodes):
+        if (i not in live or node.op == "arg" or i in dead
+                or const_of[i] is not None):
+            continue
+        ctx.env_inputs = []
+        step = build_step(i, node, ctx)
+        ctx.kinds[i] = step.kind
+        if step.kind == "buffer":
+            ctx.roots[i] = i
+        elif step.source is not None:
+            ctx.roots[i] = ctx.roots.get(step.source)
+        else:
+            ctx.roots[i] = None
+        step._reads = list(ctx.env_inputs)
+        steps.append(step)
+
+    # drop traced values so plans don't pin every intermediate
+    for i, node in enumerate(nodes):
+        if const_of[i] is None:
+            node.value = None
+
+    # 6. liveness: release each owned buffer right after its last read
+    out_root = (ctx.roots.get(out_payload) if out_kind == "node" else None)
+    last_use: Dict[int, int] = {}
+    for position, step in enumerate(steps):
+        for read in step._reads:
+            root = ctx.roots.get(read)
+            if root is not None:
+                last_use[root] = position
+    owner_specs: Dict[int, tuple] = {}
+    for _, index, spec in arg_plan:
+        if spec is not None:
+            owner_specs[index] = spec
+    for step in steps:
+        if step.out_spec is not None:
+            owner_specs[step.index] = step.out_spec
+    position_of = {step.index: position for position, step in enumerate(steps)}
+    for root, spec in owner_specs.items():
+        if root == out_root:
+            continue  # the output buffer is copied out at the end of run()
+        position = last_use.get(root, position_of.get(root, 0))
+        steps[position].release_after.append(root)
+    for step in steps:
+        del step._reads
+
+    out_index = out_payload if out_kind == "node" else None
+    out_const = out_payload if out_kind == "const" else None
+    return Plan(steps, len(nodes), trace.n_args, arg_plan, out_index,
+                out_const, plan_dtype)

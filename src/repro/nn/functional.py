@@ -5,6 +5,18 @@ arrays are coerced to constant tensors), performs the forward computation
 with numpy, and registers a backward closure implementing the analytic
 vector-Jacobian product.  Convolutions use the standard im2col/col2im
 lowering so the heavy lifting is a single BLAS ``matmul``.
+
+Two extra surfaces exist for the grad-free inference engine
+(:mod:`repro.infer`):
+
+* **pure kernels** — each heavy op's numeric forward is a plain
+  ndarray-in/ndarray-out function (``conv2d_kernel``,
+  ``max_pool2d_kernel``, ``sigmoid_kernel``, ...) reusable without any
+  Tensor wrapping; the autograd ops and the inference engine share this
+  arithmetic, which is what keeps the engine bit-exact at float64;
+* **trace hook** — :func:`set_trace_hook` installs a callback that
+  observes every op (name, output, parents, params) as a model runs, so
+  the engine can compile a module's forward into a flat kernel plan.
 """
 
 from __future__ import annotations
@@ -22,6 +34,11 @@ __all__ = [
     "pad2d", "sum", "mean", "max", "min", "softmax", "log_softmax",
     "conv2d", "conv_transpose2d", "max_pool2d", "avg_pool2d",
     "upsample_nearest2d", "embedding", "dropout", "where",
+    "set_trace_hook",
+    "conv2d_kernel", "conv_transpose2d_kernel",
+    "max_pool2d_kernel", "avg_pool2d_kernel", "upsample_nearest2d_kernel",
+    "relu_kernel", "leaky_relu_kernel", "sigmoid_kernel", "gelu_kernel",
+    "softmax_kernel", "log_softmax_kernel", "batch_norm_eval_kernel",
 ]
 
 Axis = Union[None, int, Tuple[int, ...]]
@@ -30,8 +47,31 @@ Axis = Union[None, int, Tuple[int, ...]]
 # ----------------------------------------------------------------------
 # Graph-building helpers
 # ----------------------------------------------------------------------
-def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward_fn) -> Tensor:
+_TRACE_HOOK = None
+
+
+def set_trace_hook(hook):
+    """Install (or clear, with ``None``) the op-trace callback.
+
+    While a hook is installed every op reports
+    ``hook(op_name, out_tensor, parent_tensors, meta)`` instead of
+    recording autograd state; the inference engine uses this to compile
+    a module's forward into a flat kernel plan.  Returns the previously
+    installed hook so callers can restore it.
+    """
+    global _TRACE_HOOK
+    previous = _TRACE_HOOK
+    _TRACE_HOOK = hook
+    return previous
+
+
+def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward_fn,
+          op: Optional[str] = None, meta: Optional[dict] = None) -> Tensor:
     """Create an output tensor, recording the graph only when needed."""
+    if _TRACE_HOOK is not None:
+        out = Tensor(data)
+        _TRACE_HOOK(op, out, parents, meta or {})
+        return out
     if is_grad_enabled() and any(p.requires_grad for p in parents):
         return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
     return Tensor(data)
@@ -64,7 +104,7 @@ def add(a, b) -> Tensor:
         if b.requires_grad:
             b.accumulate_grad(_unbroadcast(grad, b.shape))
 
-    return _make(out_data, (a, b), backward)
+    return _make(out_data, (a, b), backward, op="add")
 
 
 def sub(a, b) -> Tensor:
@@ -78,7 +118,7 @@ def sub(a, b) -> Tensor:
         if b.requires_grad:
             b.accumulate_grad(_unbroadcast(-grad, b.shape))
 
-    return _make(out_data, (a, b), backward)
+    return _make(out_data, (a, b), backward, op="sub")
 
 
 def mul(a, b) -> Tensor:
@@ -92,7 +132,7 @@ def mul(a, b) -> Tensor:
         if b.requires_grad:
             b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
 
-    return _make(out_data, (a, b), backward)
+    return _make(out_data, (a, b), backward, op="mul")
 
 
 def div(a, b) -> Tensor:
@@ -106,7 +146,7 @@ def div(a, b) -> Tensor:
         if b.requires_grad:
             b.accumulate_grad(_unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
 
-    return _make(out_data, (a, b), backward)
+    return _make(out_data, (a, b), backward, op="div")
 
 
 def neg(a) -> Tensor:
@@ -117,7 +157,7 @@ def neg(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(-grad)
 
-    return _make(-a.data, (a,), backward)
+    return _make(-a.data, (a,), backward, op="neg")
 
 
 def pow(a, exponent: float) -> Tensor:
@@ -130,7 +170,7 @@ def pow(a, exponent: float) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * exponent * a.data ** (exponent - 1.0))
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="pow", meta={"exponent": exponent})
 
 
 def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
@@ -141,7 +181,7 @@ def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
         if a.requires_grad:
             a.accumulate_grad(grad * np.sign(a.data))
 
-    return _make(np.abs(a.data), (a,), backward)
+    return _make(np.abs(a.data), (a,), backward, op="abs")
 
 
 def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
@@ -158,7 +198,8 @@ def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * inside)
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="clip",
+                 meta={"low": low, "high": high})
 
 
 def where(condition: np.ndarray, a, b) -> Tensor:
@@ -173,7 +214,8 @@ def where(condition: np.ndarray, a, b) -> Tensor:
         if b.requires_grad:
             b.accumulate_grad(_unbroadcast(grad * ~condition, b.shape))
 
-    return _make(out_data, (a, b), backward)
+    return _make(out_data, (a, b), backward, op="where",
+                 meta={"condition": condition})
 
 
 # ----------------------------------------------------------------------
@@ -188,7 +230,7 @@ def exp(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * out_data)
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="exp")
 
 
 def log(a) -> Tensor:
@@ -199,7 +241,7 @@ def log(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad / a.data)
 
-    return _make(np.log(a.data), (a,), backward)
+    return _make(np.log(a.data), (a,), backward, op="log")
 
 
 def sqrt(a) -> Tensor:
@@ -211,7 +253,7 @@ def sqrt(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * 0.5 / out_data)
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="sqrt")
 
 
 def tanh(a) -> Tensor:
@@ -223,7 +265,7 @@ def tanh(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * (1.0 - out_data ** 2))
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="tanh")
 
 
 def sigmoid(a) -> Tensor:
@@ -235,7 +277,7 @@ def sigmoid(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * out_data * (1.0 - out_data))
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="sigmoid")
 
 
 def relu(a) -> Tensor:
@@ -247,7 +289,7 @@ def relu(a) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * mask)
 
-    return _make(a.data * mask, (a,), backward)
+    return _make(a.data * mask, (a,), backward, op="relu")
 
 
 def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
@@ -260,27 +302,32 @@ def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad * scale)
 
-    return _make(a.data * scale, (a,), backward)
+    return _make(a.data * scale, (a,), backward, op="leaky_relu",
+                 meta={"negative_slope": negative_slope})
 
 
 _GELU_C = np.sqrt(2.0 / np.pi)
 
 
 def gelu(a) -> Tensor:
-    """GELU with the tanh approximation (as used by transformer blocks)."""
+    """GELU with the tanh approximation (as used by transformer blocks).
+
+    The cubic is ``(x*x)*x``, not ``x ** 3`` — numpy's ``power`` ufunc is
+    ~100x slower than two multiplies for integer exponents on this path.
+    """
     a = as_tensor(a)
     x = a.data
-    inner = _GELU_C * (x + 0.044715 * x ** 3)
+    inner = _GELU_C * (x + 0.044715 * (x * x * x))
     t = np.tanh(inner)
     out_data = 0.5 * x * (1.0 + t)
 
     def backward(grad):
         if a.requires_grad:
-            dinner = _GELU_C * (1.0 + 3.0 * 0.044715 * x ** 2)
+            dinner = _GELU_C * (1.0 + 3.0 * 0.044715 * (x * x))
             da = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * dinner
             a.accumulate_grad(grad * da)
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="gelu")
 
 
 # ----------------------------------------------------------------------
@@ -309,19 +356,21 @@ def matmul(a, b) -> Tensor:
                 grad_b = grad_b.sum(axis=tuple(range(grad_b.ndim - 1)))
             b.accumulate_grad(_unbroadcast(grad_b, b.shape))
 
-    return _make(out_data, (a, b), backward)
+    return _make(out_data, (a, b), backward, op="matmul")
 
 
 def reshape(a, shape: Tuple[int, ...]) -> Tensor:
     """View the tensor with a new shape (data preserved)."""
     a = as_tensor(a)
     original_shape = a.shape
+    out_data = a.data.reshape(shape)
 
     def backward(grad):
         if a.requires_grad:
             a.accumulate_grad(grad.reshape(original_shape))
 
-    return _make(a.data.reshape(shape), (a,), backward)
+    return _make(out_data, (a,), backward, op="reshape",
+                 meta={"shape": out_data.shape})
 
 
 def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
@@ -335,7 +384,8 @@ def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad.transpose(inverse))
 
-    return _make(a.data.transpose(axes), (a,), backward)
+    return _make(a.data.transpose(axes), (a,), backward, op="transpose",
+                 meta={"axes": tuple(axes)})
 
 
 def getitem(a, index) -> Tensor:
@@ -349,7 +399,8 @@ def getitem(a, index) -> Tensor:
             np.add.at(full, index, grad)
             a.accumulate_grad(full)
 
-    return _make(np.array(out_data, copy=True), (a,), backward)
+    return _make(np.array(out_data, copy=True), (a,), backward, op="getitem",
+                 meta={"index": index})
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -366,7 +417,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor.accumulate_grad(grad[tuple(slicer)])
 
-    return _make(out_data, tuple(tensors), backward)
+    return _make(out_data, tuple(tensors), backward, op="concat",
+                 meta={"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -380,7 +432,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor.accumulate_grad(piece)
 
-    return _make(out_data, tuple(tensors), backward)
+    return _make(out_data, tuple(tensors), backward, op="stack",
+                 meta={"axis": axis})
 
 
 def pad2d(a, pad: Tuple[int, int, int, int], value: float = 0.0) -> Tensor:
@@ -396,7 +449,8 @@ def pad2d(a, pad: Tuple[int, int, int, int], value: float = 0.0) -> Tensor:
             slicer = (Ellipsis, slice(top, top + h), slice(left, left + w))
             a.accumulate_grad(grad[slicer])
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="pad2d",
+                 meta={"pad": tuple(pad), "value": value})
 
 
 # ----------------------------------------------------------------------
@@ -421,7 +475,8 @@ def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
         if a.requires_grad:
             a.accumulate_grad(_expand_reduced(grad, a.shape, axis, keepdims).copy())
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="sum",
+                 meta={"axis": axis, "keepdims": keepdims})
 
 
 def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
@@ -437,7 +492,8 @@ def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
             expanded = _expand_reduced(grad, a.shape, axis, keepdims)
             a.accumulate_grad(expanded / count)
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="mean",
+                 meta={"axis": axis, "keepdims": keepdims})
 
 
 def _extremum(a, axis: Axis, keepdims: bool, reducer, name: str) -> Tensor:
@@ -452,7 +508,8 @@ def _extremum(a, axis: Axis, keepdims: bool, reducer, name: str) -> Tensor:
             expanded = _expand_reduced(grad, a.shape, axis, keepdims)
             a.accumulate_grad(expanded * mask / counts)
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op=name,
+                 meta={"axis": axis, "keepdims": keepdims})
 
 
 def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
@@ -480,7 +537,7 @@ def softmax(a, axis: int = -1) -> Tensor:
             inner = (grad * out_data).sum(axis=axis, keepdims=True)
             a.accumulate_grad(out_data * (grad - inner))
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="softmax", meta={"axis": axis})
 
 
 def log_softmax(a, axis: int = -1) -> Tensor:
@@ -495,7 +552,7 @@ def log_softmax(a, axis: int = -1) -> Tensor:
         if a.requires_grad:
             a.accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
 
-    return _make(out_data, (a,), backward)
+    return _make(out_data, (a,), backward, op="log_softmax", meta={"axis": axis})
 
 
 # ----------------------------------------------------------------------
@@ -511,18 +568,65 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int):
     return np.ascontiguousarray(cols), oh, ow
 
 
-def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int) -> np.ndarray:
+def _im2col_into(x: np.ndarray, kh: int, kw: int, stride: int,
+                 cols_out: np.ndarray) -> np.ndarray:
+    """:func:`_im2col` writing into a preallocated (n, c·kh·kw, oh·ow) buffer.
+
+    Produces exactly the layout (and therefore the exact matmul result)
+    of :func:`_im2col`; used by the inference engine's buffer arena.
+    """
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    view = cols_out.reshape(n, c, kh, kw, oh, ow)
+    np.copyto(view, windows.transpose(0, 1, 4, 5, 2, 3))
+    return cols_out
+
+
+def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int,
+            out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Scatter-add column patches back onto the (pre-zeroed) image grid.
+
+    ``cols`` may arrive either flat ``(n, c·kh·kw, oh·ow)`` or already
+    shaped ``(n, c, kh, kw, oh, ow)`` — the 6-D form lets callers pass a
+    broadcast view without materialising it (see ``avg_pool2d``'s
+    backward).  ``out`` must be zero-filled by the caller when provided.
+    """
     n, c, h, w = x_shape
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    x = np.zeros(x_shape, dtype=cols.dtype)
+    if cols.ndim != 6:
+        cols = cols.reshape(n, c, kh, kw, oh, ow)
+    x = np.zeros(x_shape, dtype=cols.dtype) if out is None else out
     for i in range(kh):
         row_end = i + stride * oh
         for j in range(kw):
             col_end = j + stride * ow
             x[:, :, i:row_end:stride, j:col_end:stride] += cols[:, :, i, j]
     return x
+
+
+def _conv2d_forward(x: np.ndarray, weight: np.ndarray,
+                    bias: Optional[np.ndarray], stride: int, padding: int):
+    """Shared conv2d arithmetic; returns ``(out, cols, padded_shape)``."""
+    f, c, kh, kw = weight.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding))) \
+        if padding else x
+    cols, oh, ow = _im2col(padded, kh, kw, stride)
+    w_mat = weight.reshape(f, c * kh * kw)
+    out = np.matmul(w_mat, cols).reshape(x.shape[0], f, oh, ow)
+    if bias is not None:
+        out = out + bias.reshape(1, f, 1, 1)
+    return out, cols, padded.shape
+
+
+def conv2d_kernel(x: np.ndarray, weight: np.ndarray,
+                  bias: Optional[np.ndarray] = None,
+                  stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Pure-ndarray 2-D convolution forward (no Tensor, no autograd)."""
+    return _conv2d_forward(x, weight, bias, stride, padding)[0]
 
 
 def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
@@ -533,19 +637,29 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
     if x.shape[1] != c:
         raise ValueError(f"conv2d channel mismatch: input {x.shape[1]} vs weight {c}")
 
-    padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) \
-        if padding else x.data
-    cols, oh, ow = _im2col(padded, kh, kw, stride)
+    out, cols, padded_shape = _conv2d_forward(
+        x.data, weight.data, bias.data if bias is not None else None,
+        stride, padding)
+    oh, ow = out.shape[2], out.shape[3]
     w_mat = weight.data.reshape(f, c * kh * kw)
-    out = np.matmul(w_mat, cols).reshape(x.shape[0], f, oh, ow)
-    if bias is not None:
-        out = out + bias.data.reshape(1, f, 1, 1)
-    padded_shape = padded.shape
+    # The im2col buffer is the largest forward temporary and is only read
+    # again to form the *weight* gradient — so it is not captured at all
+    # when the weight is frozen, and is dropped right after its single use
+    # otherwise (trims peak memory during the rest of backward).
+    saved_cols = [cols if (is_grad_enabled() and weight.requires_grad) else None]
+    del cols
 
     def backward(grad):
         grad_mat = grad.reshape(grad.shape[0], f, oh * ow)
         if weight.requires_grad:
-            dw = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+            cols_buf = saved_cols[0]
+            if cols_buf is None:
+                raise RuntimeError(
+                    "conv2d weight gradient requested but the im2col buffer "
+                    "was already released (backward ran twice?)"
+                )
+            saved_cols[0] = None
+            dw = np.matmul(grad_mat, cols_buf.transpose(0, 2, 1)).sum(axis=0)
             weight.accumulate_grad(dw.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
@@ -557,7 +671,40 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
             x.accumulate_grad(dx)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return _make(out, parents, backward)
+    return _make(out, parents, backward, op="conv2d",
+                 meta={"stride": stride, "padding": padding})
+
+
+def _conv_transpose2d_forward(x: np.ndarray, weight: np.ndarray,
+                              bias: Optional[np.ndarray], stride: int,
+                              padding: int, output_padding: int):
+    """Shared transposed-conv arithmetic; returns ``(out, x_mat, w_mat)``."""
+    c_in, c_out, kh, kw = weight.shape
+    n, _, h, w = x.shape
+    h_full = (h - 1) * stride + kh
+    w_full = (w - 1) * stride + kw
+    h_out = h_full - 2 * padding + output_padding
+    w_out = w_full - 2 * padding + output_padding
+
+    x_mat = x.reshape(n, c_in, h * w)
+    w_mat = weight.reshape(c_in, c_out * kh * kw)
+    cols = np.matmul(w_mat.T, x_mat)
+    full = _col2im(cols, (n, c_out, h_full, w_full), kh, kw, stride)
+    if output_padding:
+        full = np.pad(full, ((0, 0), (0, 0), (0, output_padding), (0, output_padding)))
+    out = full[:, :, padding:padding + h_out, padding:padding + w_out]
+    if bias is not None:
+        out = out + bias.reshape(1, c_out, 1, 1)
+    return np.ascontiguousarray(out), x_mat, w_mat
+
+
+def conv_transpose2d_kernel(x: np.ndarray, weight: np.ndarray,
+                            bias: Optional[np.ndarray] = None,
+                            stride: int = 1, padding: int = 0,
+                            output_padding: int = 0) -> np.ndarray:
+    """Pure-ndarray transposed-convolution forward."""
+    return _conv_transpose2d_forward(x, weight, bias, stride, padding,
+                                     output_padding)[0]
 
 
 def conv_transpose2d(
@@ -579,16 +726,9 @@ def conv_transpose2d(
     h_out = h_full - 2 * padding + output_padding
     w_out = w_full - 2 * padding + output_padding
 
-    x_mat = x.data.reshape(n, c_in, h * w)
-    w_mat = weight.data.reshape(c_in, c_out * kh * kw)
-    cols = np.matmul(w_mat.T, x_mat)
-    full = _col2im(cols, (n, c_out, h_full, w_full), kh, kw, stride)
-    if output_padding:
-        full = np.pad(full, ((0, 0), (0, 0), (0, output_padding), (0, output_padding)))
-    out = full[:, :, padding:padding + h_out, padding:padding + w_out]
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
-    out = np.ascontiguousarray(out)
+    out, x_mat, w_mat = _conv_transpose2d_forward(
+        x.data, weight.data, bias.data if bias is not None else None,
+        stride, padding, output_padding)
 
     def backward(grad):
         grad_full = np.zeros((n, c_out, h_full + output_padding, w_full + output_padding),
@@ -606,7 +746,48 @@ def conv_transpose2d(
             bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return _make(out, parents, backward)
+    return _make(out, parents, backward, op="conv_transpose2d",
+                 meta={"stride": stride, "padding": padding,
+                       "output_padding": output_padding})
+
+
+def _pool_windows(x: np.ndarray, kernel_size: int, stride: int):
+    """Strided (n, c, oh, ow, kh, kw) pooling-window view (no copy)."""
+    n, c, h, w = x.shape
+    kh = kw = kernel_size
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::stride, ::stride, :, :], oh, ow
+
+
+def max_pool2d_kernel(x: np.ndarray, kernel_size: int,
+                      stride: Optional[int] = None,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pure-ndarray max pooling (value-identical to the autograd op).
+
+    Runs as kh·kw pairwise ``np.maximum`` passes over strided slices —
+    an order-of-magnitude faster than a windowed multi-axis ``amax``
+    (numpy's 6-D reduction iterator is pathologically slow here), and
+    exactly equal since max is a selection.
+    """
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    kh = kw = kernel_size
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    if out is None:
+        out = np.empty((n, c, oh, ow), dtype=x.dtype)
+    first = True
+    for i in range(kh):
+        for j in range(kw):
+            tap = x[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride]
+            if first:
+                np.copyto(out, tap)
+                first = False
+            else:
+                np.maximum(out, tap, out=out)
+    return out
 
 
 def max_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
@@ -615,10 +796,8 @@ def max_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     stride = stride or kernel_size
     n, c, h, w = x.shape
     kh = kw = kernel_size
-    oh = (h - kh) // stride + 1
-    ow = (w - kw) // stride + 1
-    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :].reshape(n, c, oh, ow, kh * kw)
+    windows, oh, ow = _pool_windows(x.data, kernel_size, stride)
+    windows = windows.reshape(n, c, oh, ow, kh * kw)
     flat_idx = windows.argmax(axis=-1)
     out = np.take_along_axis(windows, flat_idx[..., None], axis=-1)[..., 0]
 
@@ -631,7 +810,20 @@ def max_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
             np.add.at(dx, (ni, ci, rows, cols_), grad)
             x.accumulate_grad(dx)
 
-    return _make(np.ascontiguousarray(out), (x,), backward)
+    return _make(np.ascontiguousarray(out), (x,), backward, op="max_pool2d",
+                 meta={"kernel_size": kernel_size, "stride": stride})
+
+
+def avg_pool2d_kernel(x: np.ndarray, kernel_size: int,
+                      stride: Optional[int] = None,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Pure-ndarray average pooling (bit-identical to the autograd op)."""
+    stride = stride or kernel_size
+    windows, _, _ = _pool_windows(x, kernel_size, stride)
+    if out is None:
+        return windows.mean(axis=(-1, -2))
+    np.mean(windows, axis=(-1, -2), out=out)
+    return out
 
 
 def avg_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
@@ -640,36 +832,172 @@ def avg_pool2d(x, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     stride = stride or kernel_size
     n, c, h, w = x.shape
     kh = kw = kernel_size
-    oh = (h - kh) // stride + 1
-    ow = (w - kw) // stride + 1
-    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]
-    out = windows.mean(axis=(-1, -2))
+    _, oh, ow = _pool_windows(x.data, kernel_size, stride)
+    out = avg_pool2d_kernel(x.data, kernel_size, stride)
 
     def backward(grad):
         if x.requires_grad:
-            dx = np.zeros_like(x.data)
             share = grad / (kh * kw)
-            for i in range(kh):
-                for j in range(kw):
-                    dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += share
-            x.accumulate_grad(dx)
+            # every window slot receives the same share: a broadcast 6-D
+            # view scattered back through _col2im, no kh*kw temporaries
+            cols = np.broadcast_to(share[:, :, None, None, :, :],
+                                   (n, c, kh, kw, oh, ow))
+            x.accumulate_grad(_col2im(cols, x.shape, kh, kw, stride))
 
-    return _make(np.ascontiguousarray(out), (x,), backward)
+    return _make(np.ascontiguousarray(out), (x,), backward, op="avg_pool2d",
+                 meta={"kernel_size": kernel_size, "stride": stride})
+
+
+def upsample_nearest2d_kernel(x: np.ndarray, scale: int = 2,
+                              out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Nearest-neighbour upsampling via one broadcast-reshape copy.
+
+    Bit-identical to the old double ``.repeat`` but with a single output
+    materialisation instead of two full temporaries.
+    """
+    n, c, h, w = x.shape
+    expanded = np.broadcast_to(x[:, :, :, None, :, None],
+                               (n, c, h, scale, w, scale))
+    if out is None:
+        return expanded.reshape(n, c, h * scale, w * scale)
+    np.copyto(out.reshape(n, c, h, scale, w, scale), expanded)
+    return out
 
 
 def upsample_nearest2d(x, scale: int = 2) -> Tensor:
     """Nearest-neighbour spatial upsampling by an integer factor."""
     x = as_tensor(x)
     n, c, h, w = x.shape
-    out = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    out = upsample_nearest2d_kernel(x.data, scale)
 
     def backward(grad):
         if x.requires_grad:
             folded = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
             x.accumulate_grad(folded)
 
-    return _make(out, (x,), backward)
+    return _make(out, (x,), backward, op="upsample_nearest2d",
+                 meta={"scale": scale})
+
+
+# ----------------------------------------------------------------------
+# Pure elementwise / normalisation kernels (inference-engine arithmetic)
+# ----------------------------------------------------------------------
+def relu_kernel(x: np.ndarray, out: Optional[np.ndarray] = None,
+                mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """``x * (x > 0)`` — the exact arithmetic of the autograd op."""
+    if mask is None:
+        mask = x > 0
+    else:
+        np.greater(x, 0, out=mask)
+    if out is None:
+        return x * mask
+    np.multiply(x, mask, out=out)
+    return out
+
+
+def leaky_relu_kernel(x: np.ndarray, negative_slope: float = 0.01,
+                      out: Optional[np.ndarray] = None,
+                      scratch: Optional[np.ndarray] = None,
+                      mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """``x * where(x > 0, 1, slope)`` with optional preallocated buffers."""
+    if out is None:
+        mask_l = x > 0
+        return x * np.where(mask_l, 1.0, negative_slope)
+    if scratch is None:
+        scratch = np.empty_like(out)
+    if mask is None:
+        mask = np.empty(x.shape, dtype=bool)
+    np.greater(x, 0, out=mask)
+    np.copyto(scratch, negative_slope)
+    np.copyto(scratch, 1.0, where=mask)
+    np.multiply(x, scratch, out=out)
+    return out
+
+
+def sigmoid_kernel(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``1 / (1 + exp(-x))`` as the same ufunc sequence as the autograd op."""
+    if out is None:
+        return 1.0 / (1.0 + np.exp(-x))
+    np.negative(x, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def gelu_kernel(x: np.ndarray, out: Optional[np.ndarray] = None,
+                scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Tanh-approximation GELU, op-for-op the autograd arithmetic."""
+    if out is None:
+        inner = _GELU_C * (x + 0.044715 * (x * x * x))
+        return 0.5 * x * (1.0 + np.tanh(inner))
+    if scratch is None:
+        scratch = np.empty_like(out)
+    np.multiply(x, x, out=scratch)
+    np.multiply(scratch, x, out=scratch)
+    np.multiply(scratch, 0.044715, out=scratch)
+    np.add(x, scratch, out=scratch)
+    np.multiply(scratch, _GELU_C, out=scratch)
+    np.tanh(scratch, out=scratch)
+    np.add(scratch, 1.0, out=scratch)
+    np.multiply(x, 0.5, out=out)
+    np.multiply(out, scratch, out=out)
+    return out
+
+
+def softmax_kernel(x: np.ndarray, axis: int = -1,
+                   out: Optional[np.ndarray] = None,
+                   reduce_buf: Optional[np.ndarray] = None) -> np.ndarray:
+    """Numerically stable softmax, same ufunc sequence as the autograd op."""
+    if out is None:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exp_data = np.exp(shifted)
+        return exp_data / exp_data.sum(axis=axis, keepdims=True)
+    if reduce_buf is None:
+        reduced = list(x.shape)
+        reduced[axis % x.ndim] = 1
+        reduce_buf = np.empty(reduced, dtype=out.dtype)
+    np.amax(x, axis=axis, keepdims=True, out=reduce_buf)
+    np.subtract(x, reduce_buf, out=out)
+    np.exp(out, out=out)
+    np.sum(out, axis=axis, keepdims=True, out=reduce_buf)
+    np.divide(out, reduce_buf, out=out)
+    return out
+
+
+def log_softmax_kernel(x: np.ndarray, axis: int = -1,
+                       out: Optional[np.ndarray] = None,
+                       scratch: Optional[np.ndarray] = None,
+                       reduce_buf: Optional[np.ndarray] = None) -> np.ndarray:
+    """Numerically stable log-softmax matching the autograd arithmetic."""
+    if out is None:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    if scratch is None:
+        scratch = np.empty_like(out)
+    if reduce_buf is None:
+        reduced = list(x.shape)
+        reduced[axis % x.ndim] = 1
+        reduce_buf = np.empty(reduced, dtype=out.dtype)
+    np.amax(x, axis=axis, keepdims=True, out=reduce_buf)
+    np.subtract(x, reduce_buf, out=out)
+    np.exp(out, out=scratch)
+    np.sum(scratch, axis=axis, keepdims=True, out=reduce_buf)
+    np.log(reduce_buf, out=reduce_buf)
+    np.subtract(out, reduce_buf, out=out)
+    return out
+
+
+def batch_norm_eval_kernel(x: np.ndarray, running_mean: np.ndarray,
+                           running_var: np.ndarray, gamma: np.ndarray,
+                           beta: np.ndarray, eps: float,
+                           param_shape: Tuple[int, ...]) -> np.ndarray:
+    """Eval-mode batch norm, arithmetic-identical to the layer's F-op path."""
+    mean = running_mean.reshape(param_shape)
+    var = running_var.reshape(param_shape)
+    scale = 1.0 / np.sqrt(var + eps)
+    normalized = (x - mean) * scale
+    return normalized * gamma.reshape(param_shape) + beta.reshape(param_shape)
 
 
 # ----------------------------------------------------------------------
@@ -687,7 +1015,8 @@ def embedding(weight, indices: np.ndarray) -> Tensor:
             np.add.at(dw, indices, grad)
             weight.accumulate_grad(dw)
 
-    return _make(out_data, (weight,), backward)
+    return _make(out_data, (weight,), backward, op="embedding",
+                 meta={"indices": indices})
 
 
 def dropout(x, p: float, training: bool, rng: np.random.Generator) -> Tensor:
@@ -702,4 +1031,5 @@ def dropout(x, p: float, training: bool, rng: np.random.Generator) -> Tensor:
         if x.requires_grad:
             x.accumulate_grad(grad * mask)
 
-    return _make(x.data * mask, (x,), backward)
+    return _make(x.data * mask, (x,), backward, op="dropout",
+                 meta={"p": p})

@@ -1,0 +1,340 @@
+"""Engine-vs-autograd parity for LMMIR and every registered baseline.
+
+The contract under test: a float64 plan replays the autograd forward's
+exact arithmetic (bit-exact, fusion included); the float32 serving mode
+agrees to 1e-4 relative; BatchNorm weight folding agrees to 1e-10 at
+float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.pipeline import IRPredictor
+from repro.core.registry import MODEL_REGISTRY
+from repro.infer import InferenceEngine, InferenceUnsupportedError
+from repro.train.seed import seed_everything
+
+MODEL_NAMES = sorted(MODEL_REGISTRY)
+
+
+def _build(name):
+    seed_everything(0)
+    spec = MODEL_REGISTRY[name]
+    model = spec.build()
+    model.eval()
+    return spec, model
+
+
+def _inputs(spec, batch=2, edge=16, points=24, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, len(spec.channels), edge, edge))
+    if spec.uses_pointcloud:
+        return (x, rng.normal(size=(batch, points, 11)))
+    return (x,)
+
+
+def _autograd(model, args):
+    with nn.no_grad():
+        return model(*[nn.Tensor(a) for a in args]).data
+
+
+def _rel_error(a, b):
+    scale = max(float(np.max(np.abs(b))), 1e-12)
+    return float(np.max(np.abs(np.asarray(a, dtype=np.float64) - b))) / scale
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_float64_bit_exact(self, name):
+        spec, model = _build(name)
+        args = _inputs(spec)
+        reference = _autograd(model, args)
+        engine = InferenceEngine(model)  # float64, fuse on, fold off
+        assert engine.dtype == np.dtype("float64")
+        assert not engine.fold_bn
+        output = engine.run(*args)
+        assert output.dtype == np.float64
+        assert np.array_equal(reference, output)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_float64_bit_exact_repeated_and_new_shapes(self, name):
+        spec, model = _build(name)
+        engine = InferenceEngine(model)
+        for batch in (1, 3, 1):
+            args = _inputs(spec, batch=batch, seed=batch)
+            assert np.array_equal(_autograd(model, args), engine.run(*args))
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_float32_serving_mode(self, name):
+        spec, model = _build(name)
+        args = _inputs(spec)
+        reference = _autograd(model, args)
+        engine = InferenceEngine(model, dtype="float32")
+        assert engine.fold_bn  # reduced precision defaults to folding
+        output = engine.run(*args)
+        assert output.dtype == np.float32
+        assert _rel_error(output, reference) <= 1e-4
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_fused_vs_unfused_float64(self, name):
+        spec, model = _build(name)
+        args = _inputs(spec)
+        unfused = InferenceEngine(model, fuse=False, fold_bn=False).run(*args)
+        folded = InferenceEngine(model, fold_bn=True).run(*args)
+        # epilogue fusion alone is arithmetic-identical...
+        fused = InferenceEngine(model, fuse=True, fold_bn=False).run(*args)
+        assert np.array_equal(unfused, fused)
+        # ...BatchNorm weight folding reassociates, at ~1 ulp
+        assert _rel_error(folded, unfused) <= 1e-10
+
+
+class TestPredictorIntegration:
+    def _predictor_pair(self, name, tta_samples=1, **kwargs):
+        from repro.train.loader import CasePreprocessor
+        from repro.data.synthesis import make_suite
+        suite = make_suite(num_fake=2, num_real=1, num_hidden=2, seed=5)
+        spec, model = _build(name)
+        preprocessor = CasePreprocessor(
+            channels=spec.channels, target_edge=16, num_points=24,
+            use_pointcloud=spec.uses_pointcloud)
+        preprocessor.fit(list(suite.training_cases))
+        on = IRPredictor(model, preprocessor, engine=True,
+                         tta_samples=tta_samples, **kwargs)
+        off = IRPredictor(model, preprocessor, engine=False,
+                          tta_samples=tta_samples, **kwargs)
+        return on, off, list(suite.hidden_cases)
+
+    @pytest.mark.parametrize("name", ["LMM-IR (Ours)", "IREDGe"])
+    def test_predict_case_bit_identical(self, name):
+        on, off, cases = self._predictor_pair(name)
+        for case in cases:
+            with_engine, _ = on.predict_case(case)
+            without, _ = off.predict_case(case)
+            assert np.array_equal(with_engine, without)
+
+    def test_predict_many_bit_identical(self):
+        on, off, cases = self._predictor_pair("LMM-IR (Ours)")
+        engine_rows = on.predict_many(cases)
+        autograd_rows = off.predict_many(cases)
+        for (pred_on, _), (pred_off, _) in zip(engine_rows, autograd_rows):
+            assert np.array_equal(pred_on, pred_off)
+
+    def test_tta_predict_bit_identical(self):
+        on, off, cases = self._predictor_pair("1st Place", tta_samples=3)
+        with_engine, _ = on.predict_case(cases[0])
+        without, _ = off.predict_case(cases[0])
+        assert np.array_equal(with_engine, without)
+
+
+class _OpaqueModel(nn.Module):
+    """Computes outside the traced op set — must not compile."""
+
+    def forward(self, x):
+        return nn.Tensor(np.tanh(x.data))
+
+
+class TestFailureModes:
+    def test_untraceable_model_raises_when_required(self):
+        model = _OpaqueModel().eval()
+        engine = InferenceEngine(model)
+        with pytest.raises(InferenceUnsupportedError):
+            engine.run(np.zeros((2, 3)))
+
+    def test_auto_mode_falls_back_to_autograd(self):
+        from repro.train.loader import CasePreprocessor
+        from repro.data.synthesis import make_suite
+        suite = make_suite(num_fake=1, num_real=1, num_hidden=1, seed=5)
+        model = _OpaqueModel()
+
+        class Wrapper(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = model
+
+            def forward(self, x, points=None):
+                return self.inner(x).reshape(
+                    (x.shape[0], 1) + tuple(x.shape[2:]))
+
+        wrapper = Wrapper().eval()
+        preprocessor = CasePreprocessor(channels=("current",),
+                                        target_edge=16, num_points=8,
+                                        use_pointcloud=False)
+        preprocessor.fit(list(suite.training_cases))
+        predictor = IRPredictor(wrapper, preprocessor, engine="auto")
+        prediction, _ = predictor.predict_case(list(suite.hidden_cases)[0])
+        assert predictor.engine_fallback_reason is not None
+        assert prediction.shape == list(suite.hidden_cases)[0].ir_map.shape
+
+    def test_escaped_numpy_intermediate_caught_by_validation(self):
+        """A forward that mixes raw numpy mid-graph produces a tensor the
+        trace sees as a constant; plan validation (replay on a perturbed
+        input vs the autograd forward) must catch it instead of serving
+        the first batch's value forever."""
+        from repro.nn import functional as F
+
+        class Escape(nn.Module):
+            def forward(self, x):
+                gate = nn.Tensor(np.tanh(x.data))  # invisible to the trace
+                return F.mul(x, gate)
+
+        engine = InferenceEngine(Escape().eval())
+        with pytest.raises(InferenceUnsupportedError, match="perturbed"):
+            engine.run(np.ones((2, 3)))
+
+        # an "auto" predictor falls back to autograd instead of raising
+        from repro.train.loader import CasePreprocessor
+        from repro.data.synthesis import make_suite
+        suite = make_suite(num_fake=1, num_real=1, num_hidden=1, seed=5)
+
+        class Wrapped(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Escape()
+
+            def forward(self, x, points=None):
+                return self.inner(x)
+
+        preprocessor = CasePreprocessor(channels=("current",),
+                                        target_edge=16, num_points=8,
+                                        use_pointcloud=False)
+        preprocessor.fit(list(suite.training_cases))
+        predictor = IRPredictor(Wrapped().eval(), preprocessor, engine="auto")
+        prediction, _ = predictor.predict_case(list(suite.hidden_cases)[0])
+        assert predictor.engine_fallback_reason is not None
+        assert np.isfinite(prediction).all()
+
+    def test_engine_argument_typo_rejected(self):
+        from repro.core.pipeline import resolve_engine_mode
+        with pytest.raises(ValueError, match="engine="):
+            resolve_engine_mode("of")
+        assert resolve_engine_mode("off") is False
+        assert resolve_engine_mode("on") is True
+        assert resolve_engine_mode(None) == "auto"
+
+    def test_kernels_allocate_missing_scratch(self):
+        from repro.nn import functional as F
+        x = np.random.default_rng(0).normal(size=(3, 7))
+        out = np.empty_like(x)
+        assert np.array_equal(F.softmax_kernel(x, out=out),
+                              F.softmax_kernel(x))
+        out = np.empty_like(x)
+        assert np.array_equal(F.log_softmax_kernel(x, out=out),
+                              F.log_softmax_kernel(x))
+        out = np.empty_like(x)
+        assert np.array_equal(F.gelu_kernel(x, out=out), F.gelu_kernel(x))
+        out = np.empty_like(x)
+        assert np.array_equal(F.leaky_relu_kernel(x, 0.2, out=out),
+                              F.leaky_relu_kernel(x, 0.2))
+        out = np.empty_like(x)
+        assert np.array_equal(F.relu_kernel(x, out=out), F.relu_kernel(x))
+
+    def test_meta_baking_ops_refuse_compilation(self):
+        """Ops whose array arguments the trace cannot prove constant must
+        not compile — baking them would replay the first batch's data."""
+        class Lookup(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.table = nn.Embedding(8, 4)
+
+            def forward(self, x):
+                indices = np.arange(x.shape[0]) % 8
+                return self.table(indices)
+
+        engine = InferenceEngine(Lookup().eval())
+        with pytest.raises(InferenceUnsupportedError):
+            engine.run(np.zeros((3, 2)))
+
+        class Where(nn.Module):
+            def forward(self, x):
+                from repro.nn import functional as F
+                return F.where(np.ones(x.shape, dtype=bool), x, F.neg(x))
+
+        engine = InferenceEngine(Where().eval())
+        with pytest.raises(InferenceUnsupportedError):
+            engine.run(np.zeros((3, 2)))
+
+    def test_structural_getitem_compiles_array_index_does_not(self):
+        class Slicer(nn.Module):
+            def forward(self, x):
+                return x[:, 1:]
+
+        model = Slicer().eval()
+        x = np.random.default_rng(0).normal(size=(3, 5))
+        assert np.array_equal(_autograd(model, (x,)),
+                              InferenceEngine(model).run(x))
+
+        class Gather(nn.Module):
+            def forward(self, x):
+                return x[np.array([0, 2])]
+
+        engine = InferenceEngine(Gather().eval())
+        with pytest.raises(InferenceUnsupportedError):
+            engine.run(x)
+
+    @pytest.mark.parametrize("fail_after", [1, 5, 20])
+    def test_buffers_released_when_a_run_fails_mid_plan(self, fail_after):
+        """Mid-plan failures must not leak held or scratch buffers out of
+        the arena (the zero-allocation steady state would quietly erode)."""
+        from repro.infer import ArenaFrozenError, BufferArena
+
+        class FailingArena(BufferArena):
+            def __init__(self, fail_after):
+                super().__init__()
+                self.calls = 0
+                self.fail_after = fail_after
+
+            def acquire(self, shape, dtype, nbytes_hint=None):
+                self.calls += 1
+                if self.calls > self.fail_after:
+                    raise ArenaFrozenError("injected failure")
+                return super().acquire(shape, dtype, nbytes_hint)
+
+        spec, model = _build("IREDGe")
+        args = _inputs(spec)
+        arena = FailingArena(fail_after)
+        engine = InferenceEngine(model, arena=arena)
+        with pytest.raises(ArenaFrozenError):
+            engine.run(*args)
+        assert arena.live == 0
+
+    def test_training_mode_rejected(self):
+        _, model = _build("IREDGe")
+        model.train()
+        engine = InferenceEngine(model)
+        with pytest.raises(InferenceUnsupportedError):
+            engine.run(np.zeros((1, 3, 16, 16)))
+
+    def test_engine_env_typo_rejected(self, monkeypatch):
+        from repro.core.pipeline import resolve_engine_mode
+        monkeypatch.setenv("REPRO_INFER_ENGINE", "of")  # typo of "off"
+        with pytest.raises(ValueError, match="REPRO_INFER_ENGINE"):
+            resolve_engine_mode("auto")
+        monkeypatch.setenv("REPRO_INFER_ENGINE", "off")
+        assert resolve_engine_mode("auto") is False
+        monkeypatch.setenv("REPRO_INFER_ENGINE", "auto")
+        assert resolve_engine_mode("auto") == "auto"
+
+    def test_prep_cache_true_uses_default_size(self):
+        from repro.train.loader import DEFAULT_CACHE_SIZE
+        from repro.train.loader import CasePreprocessor
+        predictor = IRPredictor(
+            _OpaqueModel(), CasePreprocessor(use_pointcloud=False),
+            prep_cache=True)
+        assert predictor.prep_cache is not None
+        assert predictor.prep_cache.maxsize == DEFAULT_CACHE_SIZE
+        assert IRPredictor(_OpaqueModel(),
+                           CasePreprocessor(use_pointcloud=False),
+                           prep_cache=None).prep_cache is None
+
+    def test_refresh_engine_after_weight_mutation(self):
+        spec, model = _build("IREDGe")
+        args = _inputs(spec)
+        engine = InferenceEngine(model)
+        before = engine.run(*args)
+        state = {key: value * 1.5 for key, value in model.state_dict().items()}
+        model.load_state_dict(state)
+        engine.refresh()
+        after = engine.run(*args)
+        assert np.array_equal(_autograd(model, args), after)
+        assert not np.array_equal(before, after)

@@ -1,0 +1,202 @@
+"""Graph-level fusion passes: constant folding, BatchNorm weight folding,
+bias+ReLU epilogues — plus the pure-kernel/autograd arithmetic contract."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.infer import InferenceEngine, trace_module
+from repro.train.seed import seed_everything
+
+
+def _autograd(model, *args):
+    with nn.no_grad():
+        return model(*[nn.Tensor(a) for a in args]).data
+
+
+def _plan(engine, *args):
+    return engine.compile(*args)
+
+
+class _ConvBNReLU(nn.Module):
+    def __init__(self, cin=3, cout=5):
+        super().__init__()
+        self.conv = nn.Conv2d(cin, cout, 3, padding=1)
+        self.bn = nn.BatchNorm2d(cout)
+        self.act = nn.ReLU()
+
+    def forward(self, x):
+        return self.act(self.bn(self.conv(x)))
+
+
+class _LinearBiasReLU(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = nn.Linear(6, 4)
+        self.act = nn.ReLU()
+
+    def forward(self, x):
+        return self.act(self.fc(x))
+
+
+def _randomized_bn(module):
+    """Non-trivial running stats so folding actually has work to do."""
+    rng = np.random.default_rng(7)
+    module.bn._set_buffer("running_mean", rng.normal(size=module.bn.num_features))
+    module.bn._set_buffer("running_var", rng.uniform(0.5, 2.0, size=module.bn.num_features))
+    module.bn.weight.data = rng.normal(size=module.bn.num_features)
+    module.bn.bias.data = rng.normal(size=module.bn.num_features)
+    return module
+
+
+class TestBatchNormFolding:
+    def test_folded_plan_collapses_bn_chain(self):
+        seed_everything(0)
+        model = _randomized_bn(_ConvBNReLU()).eval()
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        unfused = InferenceEngine(model, fuse=False, fold_bn=False)
+        folded = InferenceEngine(model, fold_bn=True)
+        n_unfused = len(_plan(unfused, x).steps)
+        n_folded = len(_plan(folded, x).steps)
+        # conv + 4 BN elementwise ops + relu collapse into one conv step
+        assert n_folded == 1
+        assert n_unfused >= 6
+
+    def test_folded_matches_unfused_to_ulp(self):
+        seed_everything(0)
+        model = _randomized_bn(_ConvBNReLU()).eval()
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        reference = _autograd(model, x)
+        folded = InferenceEngine(model, fold_bn=True).run(x)
+        scale = max(float(np.max(np.abs(reference))), 1e-12)
+        assert np.max(np.abs(folded - reference)) / scale <= 1e-12
+
+    def test_fold_handles_conv_without_bias(self):
+        seed_everything(0)
+
+        class NoBias(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = nn.Conv2d(3, 5, 3, padding=1, bias=False)
+                self.bn = nn.BatchNorm2d(5)
+
+            def forward(self, x):
+                return self.bn(self.conv(x))
+
+        model = NoBias().eval()
+        rng = np.random.default_rng(3)
+        model.bn._set_buffer("running_mean", rng.normal(size=5))
+        model.bn._set_buffer("running_var", rng.uniform(0.5, 2.0, size=5))
+        x = rng.normal(size=(2, 3, 8, 8))
+        reference = _autograd(model, x)
+        folded = InferenceEngine(model, fold_bn=True).run(x)
+        scale = max(float(np.max(np.abs(reference))), 1e-12)
+        assert np.max(np.abs(folded - reference)) / scale <= 1e-12
+
+
+class TestEpilogueFusion:
+    def test_linear_bias_relu_fuses_and_stays_bit_exact(self):
+        seed_everything(0)
+        model = _LinearBiasReLU().eval()
+        x = np.random.default_rng(2).normal(size=(5, 6))
+        reference = _autograd(model, x)
+        fused = InferenceEngine(model)       # fuse=True, bit-exact mode
+        unfused = InferenceEngine(model, fuse=False)
+        assert np.array_equal(fused.run(x), reference)
+        # matmul + bias add + relu become a single step
+        assert len(_plan(fused, x).steps) == 1
+        assert len(_plan(unfused, x).steps) == 3
+        assert np.array_equal(unfused.run(x), reference)
+
+
+class TestConstantFolding:
+    def test_parameter_reshapes_fold_away(self):
+        seed_everything(0)
+        model = _ConvBNReLU().eval()
+        x = np.random.default_rng(4).normal(size=(1, 3, 8, 8))
+        trace = trace_module(model, (x,))
+        # the trace contains the BN parameter reshapes...
+        assert any(node.op == "reshape" for node in trace.nodes)
+        # ...but the unfused plan has no reshape steps left: they are consts
+        engine = InferenceEngine(model, fuse=False, fold_bn=False)
+        plan = _plan(engine, x)
+        ops = {step.run.__qualname__ for step in plan.steps}
+        assert len(plan.steps) < len(
+            [n for n in trace.nodes if n.op != "arg"])
+
+
+class TestKernelContracts:
+    """The pure kernels share arithmetic with the autograd ops."""
+
+    def test_conv2d_kernel_matches_op(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(nn.Tensor(x), nn.Tensor(w), nn.Tensor(b),
+                       stride=2, padding=1).data
+        assert np.array_equal(out, F.conv2d_kernel(x, w, b, stride=2, padding=1))
+
+    def test_conv_transpose2d_kernel_matches_op(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 5, 5))
+        w = rng.normal(size=(3, 4, 2, 2))
+        b = rng.normal(size=4)
+        out = F.conv_transpose2d(nn.Tensor(x), nn.Tensor(w), nn.Tensor(b),
+                                 stride=2).data
+        assert np.array_equal(out, F.conv_transpose2d_kernel(x, w, b, stride=2))
+
+    def test_pool_kernels_match_ops(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert np.array_equal(F.max_pool2d(nn.Tensor(x), 2).data,
+                              F.max_pool2d_kernel(x, 2))
+        assert np.array_equal(F.max_pool2d(nn.Tensor(x), 3, stride=2).data,
+                              F.max_pool2d_kernel(x, 3, stride=2))
+        assert np.array_equal(F.avg_pool2d(nn.Tensor(x), 2).data,
+                              F.avg_pool2d_kernel(x, 2))
+
+    def test_upsample_kernel_matches_repeat(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 4, 5))
+        expected = x.repeat(3, axis=2).repeat(3, axis=3)
+        assert np.array_equal(F.upsample_nearest2d_kernel(x, 3), expected)
+        assert np.array_equal(F.upsample_nearest2d(nn.Tensor(x), 3).data,
+                              expected)
+        out = np.empty_like(expected)
+        assert np.array_equal(F.upsample_nearest2d_kernel(x, 3, out=out),
+                              expected)
+
+    def test_activation_kernels_match_ops(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 17))
+        pairs = [
+            (F.relu, F.relu_kernel),
+            (F.sigmoid, F.sigmoid_kernel),
+            (F.gelu, F.gelu_kernel),
+        ]
+        for op, kernel in pairs:
+            assert np.array_equal(op(nn.Tensor(x)).data, kernel(x))
+        assert np.array_equal(F.leaky_relu(nn.Tensor(x), 0.1).data,
+                              F.leaky_relu_kernel(x, 0.1))
+        assert np.array_equal(F.softmax(nn.Tensor(x), axis=-1).data,
+                              F.softmax_kernel(x, axis=-1))
+        assert np.array_equal(F.log_softmax(nn.Tensor(x), axis=-1).data,
+                              F.log_softmax_kernel(x, axis=-1))
+
+    def test_batch_norm_eval_kernel_matches_layer(self):
+        seed_everything(0)
+        layer = nn.BatchNorm2d(4)
+        rng = np.random.default_rng(5)
+        layer._set_buffer("running_mean", rng.normal(size=4))
+        layer._set_buffer("running_var", rng.uniform(0.5, 2.0, size=4))
+        layer.weight.data = rng.normal(size=4)
+        layer.bias.data = rng.normal(size=4)
+        layer.eval()
+        x = rng.normal(size=(2, 4, 6, 6))
+        expected = layer(nn.Tensor(x)).data
+        got = F.batch_norm_eval_kernel(
+            x, layer.running_mean, layer.running_var, layer.weight.data,
+            layer.bias.data, layer.eps, (1, 4, 1, 1))
+        assert np.array_equal(expected, got)
