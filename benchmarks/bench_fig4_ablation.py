@@ -12,13 +12,15 @@ the unit cost that dominates ablation wall-time.
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, recorder
 
 from repro import nn
 from repro.core.model import LMMIR, LMMIRConfig
 from repro.eval.ablation import run_ablation
 from repro.eval.harness import EvalConfig
 from repro.eval.tables import format_fig4
+
+REC = recorder("fig4_ablation", "parity")
 
 
 @pytest.fixture(scope="module")
@@ -32,23 +34,33 @@ def test_fig4_ablation(ablation_runs, artifact_dir, benchmark):
     text = benchmark(format_fig4, series)
     emit(artifact_dir, "fig4_ablation.txt", text)
 
+    REC.check("all_configs_present",
+              set(series) == {"EC", "W-Att", "W-LNT", "W-Aug", "United"})
     assert set(series) == {"EC", "W-Att", "W-LNT", "W-Aug", "United"}
+    REC.metric("united_f1", series["United"][0])
+    REC.annotate(configs={name: {"f1": round(f1, 4), "mae": mae}
+                          for name, (f1, mae) in series.items()})
     united_f1 = series["United"][0]
     # headline: the full model is competitive with every ablation (at the
     # recorded budget it wins outright; allow seed noise at tiny budgets)
     best_other = max(f1 for name, (f1, _) in series.items()
                      if name != "United")
+    REC.check("united_competitive", united_f1 >= 0.8 * best_other - 0.05)
     assert united_f1 >= 0.8 * best_other - 0.05
     # and it must beat the bare encoder-decoder flow's MAE or F1
     ec_f1, ec_mae = series["EC"]
-    assert united_f1 >= ec_f1 - 0.05 or series["United"][1] <= ec_mae * 1.05
+    ec_ok = united_f1 >= ec_f1 - 0.05 or series["United"][1] <= ec_mae * 1.05
+    REC.check("united_beats_bare_encoder", ec_ok)
+    assert ec_ok
 
 
 def test_ablation_architectures_differ(ablation_runs):
     """Sanity: the configurations are actually different models/regimes."""
     by_name = {run.name: run for run in ablation_runs}
     # ablations with the LNT train slower than those without
-    assert by_name["United"].train_seconds > by_name["W-LNT"].train_seconds
+    ok = by_name["United"].train_seconds > by_name["W-LNT"].train_seconds
+    REC.check("lnt_configs_train_slower", ok)
+    assert ok
 
 
 def test_united_training_step_cost(benchmark):

@@ -13,7 +13,7 @@ import os
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, recorder
 
 from repro.core.registry import OURS
 from repro.eval.figures import export_visual_comparison
@@ -21,6 +21,8 @@ from repro.eval.harness import EvalConfig, train_predictor
 from repro.metrics.regression import correlation
 
 FIG5_MODELS = ["IREDGe", "IRPnet", OURS]
+
+REC = recorder("fig5_visualization", "parity")
 
 
 @pytest.fixture(scope="module")
@@ -44,9 +46,15 @@ def test_fig5_visualization(predictors, showcase, artifact_dir, benchmark):
     assert set(maps) == set(FIG5_MODELS) | {"G.T."}
 
     files = os.listdir(artifact_dir)
-    assert f"{showcase.name}_comparison.ppm" in files
-    assert f"{showcase.name}_comparison.txt" in files
+    exported = (f"{showcase.name}_comparison.ppm" in files
+                and f"{showcase.name}_comparison.txt" in files)
+    REC.check("comparison_artifacts_exported", exported)
+    assert exported
 
+    truth = maps["G.T."]
+    for name in FIG5_MODELS:
+        REC.metric(f"correlation:{name}",
+                   round(float(correlation(maps[name], truth)), 4))
     emit(artifact_dir, "fig5_summary.txt", _summary(maps))
 
 
@@ -68,7 +76,9 @@ def test_ours_tracks_truth_best_or_close(predictors, showcase):
     for predictor in predictors:
         predicted, _ = predictor.predict_case(showcase)
         scores[predictor.name] = correlation(predicted, showcase.ir_map)
-    assert scores[OURS] >= max(scores.values()) - 0.35
+    ok = scores[OURS] >= max(scores.values()) - 0.35
+    REC.check("ours_correlation_competitive", ok)
+    assert ok
 
 
 def test_figure_export_cost(benchmark, predictors, showcase, artifact_dir):

@@ -16,8 +16,9 @@ Tests split into two CI tiers, following ``bench_solver_scaling.py``:
 * **wall-clock** (``@pytest.mark.perf``) — speedup floors for the
   serving configuration (engine + float32 + BN folding + batched
   ``predict_many`` + prepared-case cache) against the autograd paths,
-  recorded per model into ``benchmarks/artifacts/inference.json``
-  together with cases/sec and peak RSS.
+  recorded per model into the unified ``BenchResult`` artifact
+  (``benchmarks/artifacts/results/inference.json``) together with
+  cases/sec and peak RSS.
 
 A calibration note on the floors: the PR's issue estimated ≥2x
 single-case and ≥3x steady-state before measurement.  On the single-core
@@ -25,21 +26,21 @@ reference box the serving stack lands at ~2x single-case, ~2.5x
 steady-state against the per-case autograd path and ~2.2x against the
 PR 3 batched autograd path — the conv GEMMs are BLAS-bound and shared by
 both sides, so they cap the ratio.  The asserted floors sit under the
-measured medians (1.7x / 2.2x / 1.8x) to stay robust on shared runners;
-the recorded numbers in ``inference.json`` are the claim.
+measured medians (1.7x / 2.2x / 1.8x defaults, sourced from the
+committed ``benchmarks/references/reference.json``) to stay robust on
+shared runners; the recorded metrics are the claim.
 """
 
-import json
-import math
 import os
 import resource
 import time
 
 import numpy as np
 import pytest
-from conftest import ARTIFACT_DIR, emit
+from conftest import REFERENCE, emit, recorder
 
 from repro import nn
+from repro.bench.measure import geomean, median
 from repro.core.pipeline import IRPredictor
 from repro.core.registry import MODEL_REGISTRY
 from repro.infer import InferenceEngine
@@ -48,16 +49,23 @@ from repro.train.seed import seed_everything
 
 perf = pytest.mark.perf
 
-INFERENCE_FILE = os.path.join(ARTIFACT_DIR, "inference.json")
-
 EDGE = int(os.environ.get("REPRO_EVAL_EDGE", 48))
 POINTS = int(os.environ.get("REPRO_EVAL_POINTS", 192))
 ROUNDS = int(os.environ.get("REPRO_BENCH_INFER_ROUNDS", 7))
 
-# asserted floors (fleet geometric means; see module docstring)
-SINGLE_CASE_FLOOR = 1.7
-STEADY_VS_PERCASE_FLOOR = 2.2
-STEADY_VS_BATCHED_FLOOR = 1.8
+REC = recorder("inference", "perf")
+
+# asserted floors (fleet geometric means; see module docstring) — the
+# committed reference is the source of truth, the literals are the
+# pre-baseline fallback
+SINGLE_CASE_FLOOR = REFERENCE.floor(
+    "inference", "single_case_speedup_geomean", 1.7)
+STEADY_VS_PERCASE_FLOOR = REFERENCE.floor(
+    "inference", "steady_state_vs_percase_geomean", 2.2)
+STEADY_VS_BATCHED_FLOOR = REFERENCE.floor(
+    "inference", "steady_state_vs_batched_geomean", 1.8)
+FORWARD_LATENCY_FLOOR = REFERENCE.floor(
+    "inference", "forward_latency_speedup_geomean", 2.0)
 
 
 def _build_model(name):
@@ -92,15 +100,6 @@ def _predictor(name, suite, **kwargs):
                        **kwargs)
 
 
-def _geomean(values):
-    return math.exp(sum(math.log(v) for v in values) / len(values))
-
-
-def _median(values):
-    ordered = sorted(values)
-    return ordered[len(ordered) // 2]
-
-
 # ----------------------------------------------------------------------
 # Numeric parity (gating in CI)
 # ----------------------------------------------------------------------
@@ -114,6 +113,7 @@ def test_engine_bit_exact_all_models():
             args = _raw_inputs(spec, batch, seed=batch)
             reference = _autograd_forward(model, args)
             assert np.array_equal(reference, engine.run(*args)), name
+    REC.check("float64_bit_exact_all_models", True)
 
 
 def test_engine_reduced_precision_within_tolerance():
@@ -125,6 +125,7 @@ def test_engine_reduced_precision_within_tolerance():
         scale = max(float(np.max(np.abs(reference))), 1e-12)
         rel = float(np.max(np.abs(output - reference))) / scale
         assert rel <= 1e-4, (name, rel)
+    REC.check("float32_within_1e-4", True)
 
 
 def test_engine_predictions_identical_through_pipeline(bench_suite):
@@ -136,6 +137,7 @@ def test_engine_predictions_identical_through_pipeline(bench_suite):
         for (pred_on, _), (pred_off, _) in zip(on.predict_many(cases),
                                                off.predict_many(cases)):
             assert np.array_equal(pred_on, pred_off), name
+    REC.check("pipeline_predictions_identical", True)
 
 
 def test_arena_zero_allocation_steady_state():
@@ -149,6 +151,7 @@ def test_arena_zero_allocation_steady_state():
     engine.arena.freeze(False)
     assert np.array_equal(first, second)
     assert engine.arena.live == 0
+    REC.check("arena_zero_allocation_steady_state", True)
 
 
 # ----------------------------------------------------------------------
@@ -169,8 +172,7 @@ def test_inference_speedups(bench_suite, artifact_dir):
       autograd path.
     """
     cases = list(bench_suite.hidden_cases)
-    report = {"edge": EDGE, "rounds": ROUNDS, "cases": len(cases),
-              "models": {}}
+    per_model = {}
     lines = ["Grad-free inference engine vs autograd "
              f"(edge={EDGE}, {len(cases)} cases, medians of {ROUNDS} rounds):",
              f"{'model':>14} {'single':>7} {'steady/percase':>15} "
@@ -212,14 +214,14 @@ def test_inference_speedups(bench_suite, artifact_dir):
             batched_ratios.append(batched_s / engine_s)
             engine_rates.append(len(cases) / engine_s)
 
-        single = _median(single_ratios)
-        vs_percase = _median(percase_ratios)
-        vs_batched = _median(batched_ratios)
-        rate = _median(engine_rates)
+        single = median(single_ratios)
+        vs_percase = median(percase_ratios)
+        vs_batched = median(batched_ratios)
+        rate = median(engine_rates)
         singles.append(single)
         vs_percase_all.append(vs_percase)
         vs_batched_all.append(vs_batched)
-        report["models"][name] = {
+        per_model[name] = {
             "single_case_speedup": round(single, 3),
             "steady_state_speedup_vs_percase_autograd": round(vs_percase, 3),
             "steady_state_speedup_vs_batched_autograd": round(vs_batched, 3),
@@ -228,28 +230,23 @@ def test_inference_speedups(bench_suite, artifact_dir):
         lines.append(f"{name:>14} {single:>6.2f}x {vs_percase:>14.2f}x "
                      f"{vs_batched:>14.2f}x {rate:>15.1f}")
 
-    single_geo = _geomean(singles)
-    percase_geo = _geomean(vs_percase_all)
-    batched_geo = _geomean(vs_batched_all)
+    single_geo = geomean(singles)
+    percase_geo = geomean(vs_percase_all)
+    batched_geo = geomean(vs_batched_all)
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
-    report["geomeans"] = {
-        "single_case": round(single_geo, 3),
-        "steady_state_vs_percase_autograd": round(percase_geo, 3),
-        "steady_state_vs_batched_autograd": round(batched_geo, 3),
-    }
-    report["floors"] = {
-        "single_case": SINGLE_CASE_FLOOR,
-        "steady_state_vs_percase_autograd": STEADY_VS_PERCASE_FLOOR,
-        "steady_state_vs_batched_autograd": STEADY_VS_BATCHED_FLOOR,
-    }
-    report["peak_rss_mb"] = round(peak_rss_mb, 1)
-    with open(INFERENCE_FILE, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+    REC.metric("single_case_speedup_geomean", single_geo, unit="x",
+               headline=True)
+    REC.metric("steady_state_vs_percase_geomean", percase_geo, unit="x",
+               headline=True)
+    REC.metric("steady_state_vs_batched_geomean", batched_geo, unit="x")
+    REC.metric("peak_rss_mb", peak_rss_mb, unit="MB")
+    REC.annotate(edge=EDGE, rounds=ROUNDS, cases=len(cases),
+                 models=per_model)
 
     lines.append(f"geomeans: single {single_geo:.2f}x, steady-state "
                  f"{percase_geo:.2f}x vs per-case autograd "
                  f"({batched_geo:.2f}x vs batched autograd)")
-    lines.append(f"peak RSS: {peak_rss_mb:.0f} MB -> {INFERENCE_FILE}")
+    lines.append(f"peak RSS: {peak_rss_mb:.0f} MB -> {REC.path}")
     emit(artifact_dir, "inference.txt", "\n".join(lines))
 
     assert single_geo >= SINGLE_CASE_FLOOR
@@ -281,13 +278,14 @@ def test_engine_forward_latency_floor(artifact_dir):
             engine.run(*args)
             engine_s = time.perf_counter() - start
             rounds.append((autograd_s, engine_s))
-        autograd_s = _median([a for a, _ in rounds])
-        engine_s = _median([e for _, e in rounds])
-        ratio = _median([a / e for a, e in rounds])
+        autograd_s = median([a for a, _ in rounds])
+        engine_s = median([e for _, e in rounds])
+        ratio = median([a / e for a, e in rounds])
         ratios.append(ratio)
         lines.append(f"{name:>14} {autograd_s * 1e3:>8.1f}ms "
                      f"{engine_s * 1e3:>7.1f}ms {ratio:>7.2f}x")
-    geo = _geomean(ratios)
+    geo = geomean(ratios)
+    REC.metric("forward_latency_speedup_geomean", geo, unit="x")
     lines.append(f"geomean: {geo:.2f}x")
     emit(artifact_dir, "inference_forward.txt", "\n".join(lines))
-    assert geo >= 2.0
+    assert geo >= FORWARD_LATENCY_FLOOR

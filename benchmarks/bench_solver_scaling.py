@@ -22,10 +22,11 @@ import time
 
 import numpy as np
 import pytest
-from conftest import ARTIFACT_DIR, emit
+from conftest import ARTIFACT_DIR, REFERENCE, emit, recorder
 from scipy import sparse
 from scipy.sparse.linalg import cg, spsolve
 
+from repro.bench.measure import timed
 from repro.pdn import PDNConfig, contest_stack, generate_pdn
 from repro.solver import (
     FactorizedPDN,
@@ -36,6 +37,17 @@ from repro.solver import (
 )
 
 perf = pytest.mark.perf
+
+REC = recorder("solver_scaling", "perf")
+
+# speedup floors, sourced from the committed reference (literals are the
+# pre-baseline fallback)
+FACTOR_ONCE_FLOOR = REFERENCE.floor(
+    "solver_scaling", "factor_once_speedup", 3.0)
+BLOCK_MG_FLOOR = REFERENCE.floor(
+    "solver_scaling", "block_mg_speedup", 3.0)
+ASSEMBLY_FLOOR = REFERENCE.floor(
+    "solver_scaling", "vectorized_assembly_speedup", 1.0)
 
 EDGES_UM = [32.0, 64.0, 96.0, 128.0]
 
@@ -99,6 +111,7 @@ def test_solve_is_exact_at_every_size():
         audit = audit_solution(case.netlist, result)
         assert audit.kcl_residual < 1e-8
         assert audit.current_balance_error < 1e-8
+    REC.check("solve_exact_at_every_size", True)
 
 
 def test_block_cg_parity_with_direct():
@@ -115,6 +128,7 @@ def test_block_cg_parity_with_direct():
             worst = max(abs(d.node_voltages[name] - b.node_voltages[name])
                         for name in d.node_voltages)
             assert worst <= 1e-8, (precond, worst)
+    REC.check("block_cg_parity_with_direct", True)
 
 
 def test_multi_rhs_matches_single_rhs_bitwise():
@@ -127,6 +141,7 @@ def test_multi_rhs_matches_single_rhs_bitwise():
     for current_map, blocked in zip(maps, batch):
         single = FactorizedPDN(netlist, method="cg").solve(current_map)
         assert single.node_voltages == blocked.node_voltages
+    REC.check("multi_rhs_bitwise_matches_single", True)
 
 
 def test_assembly_matches_reference():
@@ -136,6 +151,7 @@ def test_assembly_matches_reference():
     difference = reference.matrix - vectorized.matrix
     assert difference.nnz == 0 or abs(difference).max() < 1e-9
     assert np.allclose(reference.rhs, vectorized.rhs)
+    REC.check("vectorized_assembly_matches_reference", True)
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +173,9 @@ def test_solver_scaling_series(artifact_dir, benchmark):
     benchmark(lambda: "\n".join(lines))
     emit(artifact_dir, "solver_scaling.txt", "\n".join(lines))
 
+    REC.annotate(scaling_series=[
+        {"nodes": nodes, "solve_seconds": seconds}
+        for nodes, seconds in samples])
     # node counts must grow ~quadratically with the edge
     assert samples[-1][0] > 8 * samples[0][0]
     # and solve time must stay sub-quadratic in node count (sparse solve)
@@ -204,14 +223,16 @@ def test_factor_once_solve_many_speedup(artifact_dir):
                              for name in system.free_nodes])
         assert np.allclose(voltages, solution, rtol=1e-9, atol=1e-12)
 
-    speedup = independent_s / max(batched_s, 1e-9)
+    speedup = REC.metric("factor_once_speedup",
+                         independent_s / max(batched_s, 1e-9), unit="x",
+                         headline=True)
     text = ("Factor-once/solve-many vs independent spsolve "
             f"({system.size:,} unknowns, {len(current_maps)} RHS):\n"
             f"  independent: {independent_s * 1e3:8.1f} ms\n"
             f"  batched:     {batched_s * 1e3:8.1f} ms\n"
             f"  speedup:     {speedup:8.1f}x")
     emit(artifact_dir, "solver_factor_once.txt", text)
-    assert speedup >= 3.0
+    assert speedup >= FACTOR_ONCE_FLOOR
 
 
 @perf
@@ -220,17 +241,19 @@ def test_vectorized_assembly_beats_loop(artifact_dir):
     case = _case(EDGES_UM[-1], seed=5)
     netlist = case.netlist
 
-    loop_s = min(_timed(lambda: assemble_system_reference(netlist))
+    loop_s = min(timed(lambda: assemble_system_reference(netlist))[1]
                  for _ in range(3))
-    vec_s = min(_timed(lambda: assemble_system(netlist)) for _ in range(3))
+    vec_s = min(timed(lambda: assemble_system(netlist))[1] for _ in range(3))
 
+    speedup = REC.metric("vectorized_assembly_speedup",
+                         loop_s / max(vec_s, 1e-9), unit="x")
     text = ("Assembly on the largest bench grid "
             f"({len(netlist.resistors):,} resistors):\n"
             f"  python loop: {loop_s * 1e3:8.1f} ms\n"
             f"  vectorized:  {vec_s * 1e3:8.1f} ms\n"
-            f"  speedup:     {loop_s / max(vec_s, 1e-9):8.1f}x")
+            f"  speedup:     {speedup:8.1f}x")
     emit(artifact_dir, "solver_assembly.txt", text)
-    assert vec_s < loop_s
+    assert speedup >= ASSEMBLY_FLOOR
 
 
 @perf
@@ -283,7 +306,10 @@ def test_block_mg_cg_beats_percolumn_jacobi_on_large_grid(artifact_dir):
     direct_s = time.perf_counter() - start
     assert np.max(np.abs(block_matrix[:, 0] - exact)) <= 1e-8
 
-    speedup = percolumn_s / max(block_s, 1e-9)
+    speedup = REC.metric("block_mg_speedup",
+                         percolumn_s / max(block_s, 1e-9), unit="x",
+                         headline=True)
+    REC.metric("block_mg_large_grid_nodes", system.size, unit="nodes")
     text = (f"Block CG(mg) vs per-column Jacobi CG "
             f"({system.size:,} unknowns, {LARGE_NUM_RHS} RHS, "
             f"rtol={rtol:g}):\n"
@@ -296,7 +322,7 @@ def test_block_mg_cg_beats_percolumn_jacobi_on_large_grid(artifact_dir):
             f"  max|block - direct|: "
             f"{np.max(np.abs(block_matrix[:, 0] - exact)):.2e}")
     emit(artifact_dir, "solver_block_mg.txt", text)
-    assert speedup >= 3.0
+    assert speedup >= BLOCK_MG_FLOOR
 
 
 @perf
@@ -333,6 +359,8 @@ def test_crossover_calibration(artifact_dir):
                "rhs": 1, "samples": samples}
     with open(CROSSOVER_FILE, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+    REC.metric("crossover_nodes", int(crossover), unit="nodes")
+    REC.annotate(crossover_source=source)
 
     lines = ["Direct vs CG(mg) crossover calibration (1 RHS, cold solves):",
              f"{'edge (um)':>10} {'nodes':>9} {'direct (s)':>11} {'cg mg (s)':>10}"]
@@ -377,9 +405,3 @@ def _estimate_crossover(samples):
     crossing = float(np.exp((icept_c - icept_d) / (slope_d - slope_c)))
     clamped = int(np.clip(crossing, samples[-1]["nodes"], 20_000_000))
     return clamped, "extrapolated"
-
-
-def _timed(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start

@@ -18,7 +18,7 @@ import time
 import tracemalloc
 
 import numpy as np
-from conftest import emit
+from conftest import REFERENCE, emit, recorder
 
 from repro.data.synthesis import (
     GridTemplateSpec,
@@ -31,6 +31,13 @@ from repro.solver.factorized import FactorizedCache
 
 CASES_PER_TEMPLATE = 8
 TEMPLATE_EDGE = 72.0
+
+REC = recorder("suite_synthesis", "perf")
+
+TEMPLATE_REUSE_FLOOR = REFERENCE.floor(
+    "suite_synthesis", "template_reuse_speedup", 2.0)
+MEMORY_GROWTH_CEILING = REFERENCE.ceiling(
+    "suite_synthesis", "streamed_memory_growth", 1.5)
 
 
 def _synthesize_family(cache: FactorizedCache) -> list:
@@ -66,7 +73,10 @@ def test_template_reuse_speedup(artifact_dir):
         for channel, raster in a.feature_maps.items():
             assert np.array_equal(b.feature_maps[channel], raster), channel
 
-    speedup = no_reuse_s / max(reuse_s, 1e-9)
+    REC.check("template_reuse_bit_identical", True)
+    speedup = REC.metric("template_reuse_speedup",
+                         no_reuse_s / max(reuse_s, 1e-9), unit="x",
+                         headline=True)
     text = (
         "Suite synthesis: template factorisation reuse "
         f"({CASES_PER_TEMPLATE} cases on one {TEMPLATE_EDGE:.0f} um grid):\n"
@@ -75,7 +85,7 @@ def test_template_reuse_speedup(artifact_dir):
         f"  speedup:             {speedup:8.1f}x"
     )
     emit(artifact_dir, "suite_synthesis_reuse.txt", text)
-    assert speedup >= 2.0
+    assert speedup >= TEMPLATE_REUSE_FLOOR
 
 
 def _streamed_peak(num_fake: int) -> int:
@@ -112,7 +122,10 @@ def test_streamed_parent_memory_is_flat(artifact_dir):
     tracemalloc.stop()
     assert len(suite.fake_cases) == 16
 
-    growth = large_peak / max(small_peak, 1)
+    growth = REC.metric("streamed_memory_growth",
+                        large_peak / max(small_peak, 1), unit="x")
+    REC.metric("streamed_vs_inmemory_peak_ratio",
+               large_peak / max(in_memory_peak, 1), unit="x")
     text = (
         "Suite synthesis: parent-process peak allocation\n"
         f"  streamed,  4 cases: {small_peak / 1e6:8.1f} MB\n"
@@ -123,7 +136,7 @@ def test_streamed_parent_memory_is_flat(artifact_dir):
     emit(artifact_dir, "suite_synthesis_memory.txt", text)
     # streamed peak is per-case, not per-suite: 4x the cases must cost
     # far less than 4x the memory...
-    assert growth < 1.5
+    assert growth < MEMORY_GROWTH_CEILING
     # ...and far less than holding the suite in memory
     assert large_peak < in_memory_peak / 2
 
@@ -144,5 +157,6 @@ def test_streamed_suite_matches_in_memory(artifact_dir):
             assert np.allclose(a.ir_map, b.ir_map, rtol=1e-7, atol=1e-12)
     finally:
         shutil.rmtree(out_dir, ignore_errors=True)
+    REC.check("streamed_matches_in_memory", True)
     emit(artifact_dir, "suite_synthesis_parity.txt",
          "Streamed suite == in-memory suite (within %.8g CSV round-trip)")

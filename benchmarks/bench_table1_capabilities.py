@@ -3,16 +3,20 @@
 Regenerates the paper's comparison of IR-drop predictors (fully handle
 netlist / multimodal fusion / extra features / global attention) from the
 model registry, cross-checking every claim against the actual model
-classes, and benchmarks model construction cost.
+classes, and benchmarks model construction cost.  Emits a
+``kind: "parity"`` ``BenchResult`` with a pass/fail check per table row.
 """
 
-from conftest import emit
+from conftest import emit, recorder
 
+from repro.bench.measure import median_of
 from repro.core.model import LMMIR
 from repro.core.registry import BASELINES, MODEL_REGISTRY, OURS, build_model
 from repro.eval.tables import format_table1
 
 MODEL_ORDER = list(BASELINES) + [OURS]
+
+REC = recorder("table1_capabilities", "parity")
 
 
 def test_table1_capability_matrix(artifact_dir, benchmark):
@@ -21,11 +25,15 @@ def test_table1_capability_matrix(artifact_dir, benchmark):
     emit(artifact_dir, "table1_capabilities.txt", text)
 
     ours = MODEL_REGISTRY[OURS]
+    REC.check("ours_all_capabilities",
+              bool(ours.fully_handles_netlist and ours.multimodal_fusion
+                   and ours.extra_features and ours.global_attention))
     assert ours.fully_handles_netlist and ours.multimodal_fusion
     assert ours.extra_features and ours.global_attention
     # exactly one method handles the netlist end-to-end (the contribution)
     netlist_capable = [n for n in MODEL_ORDER
                        if MODEL_REGISTRY[n].fully_handles_netlist]
+    REC.check("netlist_capable_only_ours", netlist_capable == [OURS])
     assert netlist_capable == [OURS]
 
 
@@ -34,12 +42,16 @@ def test_capability_claims_backed_by_models():
     for name in MODEL_ORDER:
         spec = MODEL_REGISTRY[name]
         model = spec.build()
-        assert isinstance(model, LMMIR) == spec.multimodal_fusion, name
-        expected_channels = 6 if spec.extra_features else 3
-        assert len(spec.channels) == expected_channels, name
+        row_ok = (isinstance(model, LMMIR) == spec.multimodal_fusion
+                  and len(spec.channels) == (6 if spec.extra_features
+                                             else 3))
+        REC.check(f"claims_backed:{name}", row_ok)
+        assert row_ok, name
 
 
-def test_model_construction_cost(benchmark):
+def test_model_construction_cost():
     """Benchmark: building the full LMM-IR model (weight init included)."""
-    model = benchmark(build_model, OURS)
+    model = build_model(OURS)
     assert model.num_parameters() > 0
+    REC.metric("lmmir_build_seconds",
+               median_of(lambda: build_model(OURS), rounds=3), unit="s")

@@ -14,16 +14,15 @@ recorded here, each with a parity check so speed never changes results:
   every model identically to the sequential run (wall-clock recorded,
   not asserted — shared CI runners make process-pool timing unreliable).
 
-Speedups land in ``benchmarks/artifacts/train_throughput.json`` so CI can
-track the perf trajectory per PR.
+Speedups land in the unified ``BenchResult`` artifact
+(``benchmarks/artifacts/results/train_throughput.json``) so the
+orchestrator can gate them and track the perf trajectory per PR.
 """
 
-import json
-import os
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import REFERENCE, emit, recorder
 
 from repro.core.pipeline import IRPredictor
 from repro.core.registry import MODEL_REGISTRY
@@ -39,16 +38,14 @@ OVERSAMPLE = 8
 TTA_SAMPLES = 8
 _SETTINGS = SynthesisSettings(edge_um_range=(40.0, 44.0))
 
-_RESULTS: dict = {}
+REC = recorder("train_throughput", "perf")
 
-
-def _record(artifact_dir: str, key: str, payload: dict) -> None:
-    """Accumulate one benchmark's numbers into the shared JSON artifact."""
-    _RESULTS[key] = payload
-    path = os.path.join(artifact_dir, "train_throughput.json")
-    with open(path, "w") as handle:
-        json.dump(_RESULTS, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+EPOCH_CACHE_FLOOR = REFERENCE.floor(
+    "train_throughput", "epoch_cache_speedup", 2.0)
+BATCHED_TTA_FLOOR = REFERENCE.floor(
+    "train_throughput", "batched_tta_speedup", 1.5)
+TTA_DELTA_CEILING = REFERENCE.ceiling(
+    "train_throughput", "tta_worst_abs_delta", 1e-10)
 
 
 def _training_cases():
@@ -91,7 +88,10 @@ def test_epoch_cache_speedup(artifact_dir):
             assert np.array_equal(a.targets.data, b.targets.data)
             assert np.array_equal(a.masks, b.masks)
 
-    speedup = uncached_s / max(cached_s, 1e-9)
+    REC.check("epoch_cache_bit_identical", True)
+    speedup = REC.metric("epoch_cache_speedup",
+                         uncached_s / max(cached_s, 1e-9), unit="x",
+                         headline=True)
     draws = EPOCHS * len(dataset)
     text = (
         "Training loop: epoch-cached deterministic preprocessing "
@@ -102,11 +102,11 @@ def test_epoch_cache_speedup(artifact_dir):
         f"  speedup:              {speedup:8.1f}x"
     )
     emit(artifact_dir, "train_throughput_epoch.txt", text)
-    _record(artifact_dir, "epoch_cache", {
+    REC.annotate(epoch_cache={
         "uncached_seconds": uncached_s, "cached_seconds": cached_s,
-        "speedup": speedup, "draws": draws,
+        "draws": draws,
     })
-    assert speedup >= 2.0
+    assert speedup >= EPOCH_CACHE_FLOOR
 
 
 def test_batched_tta_speedup(artifact_dir):
@@ -137,7 +137,10 @@ def test_batched_tta_speedup(artifact_dir):
         sequential_s += slow_tat
         worst_delta = max(worst_delta, float(np.abs(fast_map - slow_map).max()))
 
-    speedup = sequential_s / max(batched_s, 1e-9)
+    speedup = REC.metric("batched_tta_speedup",
+                         sequential_s / max(batched_s, 1e-9), unit="x",
+                         headline=True)
+    REC.metric("tta_worst_abs_delta", worst_delta, unit="V")
     text = (
         f"TTA inference ({TTA_SAMPLES} samples/case, {len(cases)} cases):\n"
         f"  per-sample forwards: {sequential_s * 1e3:8.1f} ms\n"
@@ -146,13 +149,12 @@ def test_batched_tta_speedup(artifact_dir):
         f"  worst |delta|:       {worst_delta:.3e}"
     )
     emit(artifact_dir, "train_throughput_tta.txt", text)
-    _record(artifact_dir, "batched_tta", {
+    REC.annotate(batched_tta={
         "sequential_seconds": sequential_s, "batched_seconds": batched_s,
-        "speedup": speedup, "worst_abs_delta": worst_delta,
         "tta_samples": TTA_SAMPLES,
     })
-    assert worst_delta <= 1e-10
-    assert speedup >= 1.5
+    assert worst_delta <= TTA_DELTA_CEILING
+    assert speedup >= BATCHED_TTA_FLOOR
 
 
 def test_parallel_comparison_parity(artifact_dir):
@@ -180,7 +182,9 @@ def test_parallel_comparison_parity(artifact_dir):
         assert sequential.ratios[name]["f1"] == parallel.ratios[name]["f1"]
         assert sequential.ratios[name]["mae"] == parallel.ratios[name]["mae"]
 
-    speedup = sequential_s / max(parallel_s, 1e-9)
+    REC.check("parallel_comparison_scores_identical", True)
+    speedup = REC.metric("parallel_comparison_speedup",
+                         sequential_s / max(parallel_s, 1e-9), unit="x")
     text = (
         f"Model comparison ({len(names)} models, workers=2):\n"
         f"  sequential: {sequential_s * 1e3:8.1f} ms\n"
@@ -190,7 +194,7 @@ def test_parallel_comparison_parity(artifact_dir):
         "  scores: bit-identical for any worker count"
     )
     emit(artifact_dir, "train_throughput_comparison.txt", text)
-    _record(artifact_dir, "parallel_comparison", {
+    REC.annotate(parallel_comparison={
         "sequential_seconds": sequential_s, "parallel_seconds": parallel_s,
-        "speedup": speedup, "models": names, "scores_identical": True,
+        "models": names,
     })

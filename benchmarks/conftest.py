@@ -27,9 +27,25 @@ import os
 
 import pytest
 
+from repro.bench import BenchRecorder, load_reference
 from repro.data.synthesis import make_suite
 
-ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+BENCH_DIR = os.path.dirname(__file__)
+ARTIFACT_DIR = os.path.join(BENCH_DIR, "artifacts")
+REFERENCE_FILE = os.path.join(BENCH_DIR, "references", "reference.json")
+
+#: The committed reference.  Bench scripts read their assertion floors
+#: from it (`REFERENCE.floor(bench, metric, default)`), so the numbers
+#: CI gates on and the numbers scripts assert standalone are one set of
+#: declarative tolerances; before the first baseline exists the
+#: defaults apply.
+REFERENCE = load_reference(REFERENCE_FILE)
+
+
+def recorder(name: str, kind: str) -> BenchRecorder:
+    """One per-script result recorder writing the unified BenchResult
+    artifact under ``benchmarks/artifacts/results/<name>.json``."""
+    return BenchRecorder(name, kind=kind, artifact_dir=ARTIFACT_DIR)
 
 
 def _env_int(name: str, default: int) -> int:

@@ -1,0 +1,45 @@
+"""``repro.bench`` — benchmark orchestration layer.
+
+One schema (:class:`BenchResult` / :class:`BenchSuiteReport`), one
+recorder the ``benchmarks/bench_*.py`` scripts emit through, one
+measurement discipline (:mod:`repro.bench.measure`), one comparator
+against the committed ``benchmarks/references/reference.json``, and one
+entry point (``python -m repro.bench run``) that executes the fleet in
+dependency order and tracks the PR-over-PR perf trajectory.
+
+This module stays import-light (stdlib only): the heavy pieces (runner
+subprocesses, report rendering) live in :mod:`repro.bench.runner` /
+:mod:`repro.bench.render` and are pulled in by ``__main__`` on demand,
+so ``repro.metrics.timing`` can share :mod:`repro.bench.measure`
+without an import cycle.
+"""
+
+from repro.bench.compare import (
+    Comparison,
+    Reference,
+    ResultComparator,
+    ToleranceSpec,
+    Verdict,
+    load_reference,
+    rebaseline,
+)
+from repro.bench.measure import geomean, interleaved, median, median_of, timed
+from repro.bench.registry import DEFAULT_ENTRIES, BenchEntry, select_entries
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchRecorder,
+    BenchResult,
+    BenchSuiteReport,
+    Metric,
+    SchemaVersionError,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Metric", "BenchResult", "BenchSuiteReport", "BenchRecorder",
+    "SchemaVersionError",
+    "timed", "median", "geomean", "median_of", "interleaved",
+    "ToleranceSpec", "Reference", "load_reference", "rebaseline",
+    "ResultComparator", "Comparison", "Verdict",
+    "BenchEntry", "DEFAULT_ENTRIES", "select_entries",
+]

@@ -1,0 +1,194 @@
+"""``python -m repro.bench`` — the benchmark fleet's single entry point.
+
+Subcommands:
+
+``run``
+    select + execute registry entries (``--tier gating|perf``,
+    ``--only NAME``) in dependency order, write
+    ``benchmarks/artifacts/report.json`` (+ rendered ``report.md`` /
+    ``report.html``), compare against the committed reference, append
+    the headline trajectory.  Exit status is non-zero when a gating
+    entry fails, an artifact is malformed, or the comparator finds a
+    violation.
+``list``
+    show the registry (with tiers, markers, dependencies).
+``compare``
+    re-run the comparator on an existing report.
+``render``
+    re-render markdown/HTML from an existing report.
+``rebaseline``
+    write ``benchmarks/references/reference.json`` from the latest
+    report, preserving existing tolerance specs (floors/ceilings/bands
+    survive; recorded values refresh).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.bench.compare import (
+    Reference,
+    ResultComparator,
+    load_reference,
+    rebaseline,
+)
+from repro.bench.history import append_history
+from repro.bench.registry import DEFAULT_ENTRIES, TIERS, select_entries
+from repro.bench.render import render_html, render_markdown
+from repro.bench.runner import BenchRunner
+from repro.bench.schema import BenchSuiteReport, write_json
+
+
+def _paths(benchmarks: str) -> dict:
+    artifacts = os.path.join(benchmarks, "artifacts")
+    return {
+        "benchmarks": benchmarks,
+        "artifacts": artifacts,
+        "report": os.path.join(artifacts, "report.json"),
+        "report_md": os.path.join(artifacts, "report.md"),
+        "report_html": os.path.join(artifacts, "report.html"),
+        "reference": os.path.join(benchmarks, "references",
+                                  "reference.json"),
+        "history": os.path.join(benchmarks, "BENCH_history.json"),
+    }
+
+
+def _load_report(path: str) -> BenchSuiteReport:
+    with open(path) as handle:
+        return BenchSuiteReport.from_dict(json.load(handle))
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="benchmark fleet orchestrator")
+    parser.add_argument("--benchmarks", default="benchmarks",
+                        help="benchmark directory (default: benchmarks)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute the fleet")
+    run.add_argument("--tier", choices=TIERS, default=None)
+    run.add_argument("--only", action="append", default=None,
+                     metavar="NAME",
+                     help="entry or bench name (repeatable); pulls "
+                          "dependencies in")
+    run.add_argument("--no-compare", action="store_true",
+                     help="skip the reference comparison")
+    run.add_argument("--no-history", action="store_true",
+                     help="do not append the headline trajectory")
+
+    lst = sub.add_parser("list", help="show the registry")
+    lst.add_argument("--tier", choices=TIERS, default=None)
+
+    cmp_ = sub.add_parser("compare", help="compare a report vs reference")
+    cmp_.add_argument("--report", default=None)
+    cmp_.add_argument("--reference", default=None)
+
+    render = sub.add_parser("render", help="render markdown/HTML")
+    render.add_argument("--report", default=None)
+    render.add_argument("--reference", default=None)
+
+    base = sub.add_parser("rebaseline",
+                          help="refresh the committed reference from the "
+                               "latest report (tolerance specs survive)")
+    base.add_argument("--report", default=None)
+    base.add_argument("--reference", default=None)
+    return parser
+
+
+def _compare_and_render(report: BenchSuiteReport, reference_path: str,
+                        paths: dict, compare: bool = True) -> int:
+    comparison = None
+    status = 0
+    if compare:
+        reference = load_reference(reference_path)
+        if reference.metrics or reference.checks:
+            comparison = ResultComparator(reference).compare(report)
+            print(comparison.summary())
+            if not comparison.ok:
+                status = 1
+        else:
+            print(f"no committed reference at {reference_path} — "
+                  "run `python -m repro.bench rebaseline` after a full "
+                  "run to create one")
+    with open(paths["report_md"], "w") as handle:
+        handle.write(render_markdown(report, comparison) + "\n")
+    with open(paths["report_html"], "w") as handle:
+        handle.write(render_html(report, comparison) + "\n")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    paths = _paths(args.benchmarks)
+
+    if args.command == "list":
+        for entry in select_entries(DEFAULT_ENTRIES, tier=args.tier):
+            marker = f" -m {entry.marker!r}" if entry.marker else ""
+            deps = (" <- " + ", ".join(entry.depends)
+                    if entry.depends else "")
+            print(f"{entry.name:<22} [{entry.tier}/{entry.kind}] "
+                  f"{entry.script}{marker}{deps}")
+        return 0
+
+    if args.command == "run":
+        runner = BenchRunner(paths["benchmarks"])
+        runs = runner.run(tier=args.tier, only=args.only)
+        report = runner.report(runs, tier=args.tier)
+        write_json(paths["report"], report.to_dict())
+        print(f"report: {paths['report']} "
+              f"({len(report.results)} bench results)")
+        status = 0
+        failed = [run.name for run in runs if not run.ok]
+        if failed:
+            print(f"FAILED entries: {', '.join(failed)}")
+            status = 1
+        status = max(status, _compare_and_render(
+            report, paths["reference"], paths,
+            compare=not args.no_compare))
+        if not args.no_history:
+            entry = append_history(paths["history"], report, tier=args.tier)
+            print(f"history: appended {len(entry['headlines'])} headline "
+                  f"metrics @ {entry.get('git_sha') or 'no-git'} "
+                  f"-> {paths['history']}")
+        return status
+
+    report_path = args.report or paths["report"]
+    reference_path = args.reference or paths["reference"]
+
+    if args.command == "compare":
+        report = _load_report(report_path)
+        reference = load_reference(reference_path, missing_ok=False)
+        comparison = ResultComparator(reference).compare(report)
+        print(comparison.summary())
+        return 0 if comparison.ok else 1
+
+    if args.command == "render":
+        report = _load_report(report_path)
+        status = _compare_and_render(report, reference_path, paths,
+                                     compare=os.path.exists(reference_path))
+        print(f"rendered: {paths['report_md']}, {paths['report_html']}")
+        return status
+
+    if args.command == "rebaseline":
+        report = _load_report(report_path)
+        previous = load_reference(reference_path)
+        reference, warnings = rebaseline(report, previous)
+        write_json(reference_path, reference.to_dict())
+        for warning in warnings:
+            print(f"warning: {warning}")
+        print(f"reference: {reference_path} "
+              f"({sum(len(m) for m in reference.metrics.values())} metric "
+              f"specs, {sum(len(c) for c in reference.checks.values())} "
+              "checks)")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

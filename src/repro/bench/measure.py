@@ -1,0 +1,83 @@
+"""Shared measurement discipline for the benchmark fleet.
+
+These helpers were copy-pasted (as ``_timed`` / ``_median`` /
+``_geomean``) across the ``benchmarks/bench_*.py`` scripts; they live
+here once, pure-stdlib, so both the bench fleet and the
+``repro.metrics.timing`` consumers share one implementation.
+
+The discipline they encode:
+
+* wall-clock numbers are **median-of-k** (:func:`median_of`), never a
+  single sample — one scheduler hiccup must not move a recorded metric;
+* ratio fleets aggregate by **geometric mean** (:func:`geomean`) so no
+  single model dominates a speedup claim;
+* warm-up runs happen **outside** the timed region (``warmup=`` on
+  :func:`median_of`, :func:`interleaved`) so page-ins, lazy imports and
+  plan compilation never count against either side;
+* A/B comparisons alternate the contenders every round
+  (:func:`interleaved`) so slow machine drift cancels instead of
+  crediting whichever side ran last.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
+
+__all__ = ["timed", "median", "geomean", "median_of", "interleaved"]
+
+T = TypeVar("T")
+
+
+def timed(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` once, returning ``(result, wall seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def median(values: Sequence[float]) -> float:
+    """Upper median (the historical bench convention: ``sorted[n // 2]``)."""
+    if not values:
+        raise ValueError("median of no samples")
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup-fleet aggregation)."""
+    if not values:
+        raise ValueError("geomean of no samples")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median_of(fn: Callable[[], Any], rounds: int = 3,
+              warmup: int = 0) -> float:
+    """Median wall seconds of ``rounds`` runs after ``warmup`` untimed ones."""
+    if rounds < 1:
+        raise ValueError("median_of needs at least one round")
+    for _ in range(warmup):
+        fn()
+    return median([timed(fn)[1] for _ in range(rounds)])
+
+
+def interleaved(contenders: Dict[str, Callable[[], Any]], rounds: int = 3,
+                warmup: int = 1) -> Dict[str, float]:
+    """Median wall seconds per contender, sampled round-robin.
+
+    Every round times each contender once, in dict order, so drift hits
+    all sides equally.  Returns ``{name: median seconds}``.
+    """
+    if rounds < 1:
+        raise ValueError("interleaved needs at least one round")
+    for _ in range(warmup):
+        for fn in contenders.values():
+            fn()
+    samples: Dict[str, List[float]] = {name: [] for name in contenders}
+    for _ in range(rounds):
+        for name, fn in contenders.items():
+            samples[name].append(timed(fn)[1])
+    return {name: median(times) for name, times in samples.items()}

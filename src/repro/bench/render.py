@@ -1,0 +1,129 @@
+"""Render a :class:`BenchSuiteReport` (+ comparison) as markdown/HTML.
+
+Built on the generic table formatters in :mod:`repro.metrics.report`;
+CI uploads the rendered files next to ``report.json`` so a regression is
+readable without parsing JSON.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.compare import Comparison
+from repro.bench.schema import BenchResult, BenchSuiteReport
+from repro.metrics.report import (
+    format_html_table,
+    format_markdown_table,
+    html_escape,
+)
+
+__all__ = ["render_markdown", "render_html"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+def _fingerprint_rows(report: BenchSuiteReport) -> List[Tuple[str, str]]:
+    rows: List[Tuple[str, str]] = []
+    for key, value in sorted(report.fingerprint.items()):
+        if isinstance(value, dict):
+            value = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+        rows.append((key, str(value)))
+    return rows
+
+
+def _metric_rows(result: BenchResult) -> List[Sequence[str]]:
+    rows: List[Sequence[str]] = []
+    for name, metric in sorted(result.metrics.items()):
+        rows.append((name, _fmt(metric.value), metric.unit,
+                     "*" if metric.headline else ""))
+    return rows
+
+
+def _check_rows(result: BenchResult) -> List[Sequence[str]]:
+    return [(name, "pass" if passed else "FAIL")
+            for name, passed in sorted(result.checks.items())]
+
+
+def _verdict_rows(comparison: Comparison) -> List[Sequence[str]]:
+    return [(v.bench, v.item, v.status.upper() if v.failed else v.status,
+             "" if v.measured is None else _fmt(v.measured), v.detail)
+            for v in comparison.verdicts]
+
+
+def render_markdown(report: BenchSuiteReport,
+                    comparison: Optional[Comparison] = None) -> str:
+    lines = ["# Benchmark report", "",
+             f"Generated: {report.generated_at}"
+             + (f" (tier: {report.tier})" if report.tier else ""), ""]
+    if comparison is not None:
+        status = "PASS" if comparison.ok else "FAIL"
+        lines += [f"**Reference comparison: {status}** "
+                  f"({', '.join(f'{v} {k}' for k, v in sorted(comparison.counts().items()))})",
+                  ""]
+    if report.fingerprint:
+        lines += ["## Environment", "",
+                  format_markdown_table(
+                      ("key", "value"), _fingerprint_rows(report)), ""]
+    for name, result in sorted(report.results.items()):
+        lines += [f"## {name} ({result.kind})", ""]
+        if result.metrics:
+            lines += [format_markdown_table(
+                ("metric", "value", "unit", "headline"),
+                _metric_rows(result)), ""]
+        if result.checks:
+            lines += [format_markdown_table(
+                ("check", "status"), _check_rows(result)), ""]
+    if comparison is not None and comparison.verdicts:
+        lines += ["## Reference comparison", "",
+                  format_markdown_table(
+                      ("bench", "item", "status", "measured", "detail"),
+                      _verdict_rows(comparison)), ""]
+    if report.runs:
+        rows = [(name, run.get("status", "?"),
+                 f"{run.get('seconds', 0.0):.1f}s")
+                for name, run in sorted(report.runs.items())]
+        lines += ["## Orchestrated runs", "",
+                  format_markdown_table(("entry", "status", "wall"), rows),
+                  ""]
+    return "\n".join(lines)
+
+
+def render_html(report: BenchSuiteReport,
+                comparison: Optional[Comparison] = None) -> str:
+    parts = ["<!DOCTYPE html>", "<html><head><meta charset='utf-8'>",
+             "<title>Benchmark report</title>",
+             "<style>body{font-family:sans-serif;margin:2em}"
+             "table{border-collapse:collapse;margin:1em 0}"
+             "td,th{border:1px solid #999;padding:0.3em 0.6em;"
+             "text-align:left}</style>",
+             "</head><body>", "<h1>Benchmark report</h1>",
+             f"<p>Generated: {html_escape(report.generated_at)}"
+             + (f" (tier: {html_escape(report.tier)})" if report.tier
+                else "") + "</p>"]
+    if comparison is not None:
+        status = "PASS" if comparison.ok else "FAIL"
+        parts.append(f"<p><strong>Reference comparison: {status}"
+                     "</strong></p>")
+    if report.fingerprint:
+        parts += ["<h2>Environment</h2>",
+                  format_html_table(("key", "value"),
+                                    _fingerprint_rows(report))]
+    for name, result in sorted(report.results.items()):
+        parts.append(f"<h2>{html_escape(name)} "
+                     f"({html_escape(result.kind)})</h2>")
+        if result.metrics:
+            parts.append(format_html_table(
+                ("metric", "value", "unit", "headline"),
+                _metric_rows(result)))
+        if result.checks:
+            parts.append(format_html_table(("check", "status"),
+                                           _check_rows(result)))
+    if comparison is not None and comparison.verdicts:
+        parts += ["<h2>Reference comparison</h2>",
+                  format_html_table(
+                      ("bench", "item", "status", "measured", "detail"),
+                      _verdict_rows(comparison))]
+    parts.append("</body></html>")
+    return "\n".join(parts)

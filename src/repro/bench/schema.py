@@ -1,0 +1,232 @@
+"""Versioned result schema for the benchmark fleet.
+
+Every ``benchmarks/bench_*.py`` script emits one :class:`BenchResult`
+(via :class:`BenchRecorder`) instead of an ad-hoc dict: named metrics
+with units and an optional *headline* flag (headlines feed the PR-over-PR
+trajectory in ``BENCH_history.json``), plus named boolean checks for the
+parity gates.  The orchestrator collects the per-bench results into one
+:class:`BenchSuiteReport` (``benchmarks/artifacts/report.json``) that the
+:class:`~repro.bench.compare.ResultComparator` diffs against the
+committed reference.
+
+The schema is versioned: ``from_dict`` refuses any payload whose
+``schema_version`` differs, so a stale artifact can never be silently
+compared against a newer reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RESULT_KINDS",
+    "SchemaVersionError",
+    "Metric",
+    "BenchResult",
+    "BenchSuiteReport",
+    "BenchRecorder",
+    "write_json",
+]
+
+SCHEMA_VERSION = 1
+
+#: ``perf`` — wall-clock/throughput benchmarks with speedup floors;
+#: ``parity`` — table/figure reproduction gates with pass/fail rows.
+RESULT_KINDS = ("perf", "parity")
+
+
+class SchemaVersionError(ValueError):
+    """A payload's ``schema_version`` does not match this code."""
+
+
+def _require_version(payload: Mapping[str, Any], where: str) -> None:
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{where}: schema_version {version!r} != supported "
+            f"{SCHEMA_VERSION} — regenerate the artifact (or upgrade "
+            "repro.bench) instead of comparing across schema versions")
+
+
+def write_json(path: str, payload: Mapping[str, Any]) -> None:
+    """Atomically write ``payload`` as stable (sorted, indented) JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    handle, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured number: value, unit, and whether it is a headline
+    (headlines are the metrics tracked across PRs in the history file)."""
+
+    value: float
+    unit: str = ""
+    headline: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"value": self.value}
+        if self.unit:
+            payload["unit"] = self.unit
+        if self.headline:
+            payload["headline"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Metric":
+        unknown = set(payload) - {"value", "unit", "headline"}
+        if unknown:
+            raise ValueError(f"metric has unknown keys: {sorted(unknown)}")
+        return cls(value=float(payload["value"]),
+                   unit=str(payload.get("unit", "")),
+                   headline=bool(payload.get("headline", False)))
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's emitted result (the per-script artifact)."""
+
+    name: str
+    kind: str
+    metrics: Dict[str, Metric] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in RESULT_KINDS:
+            raise ValueError(
+                f"bench {self.name!r}: kind {self.kind!r} not in "
+                f"{RESULT_KINDS}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "kind": self.kind,
+            "metrics": {key: metric.to_dict()
+                        for key, metric in self.metrics.items()},
+            "checks": dict(self.checks),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BenchResult":
+        _require_version(payload, f"bench result {payload.get('name')!r}")
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            metrics={key: Metric.from_dict(value)
+                     for key, value in payload.get("metrics", {}).items()},
+            checks={key: bool(value)
+                    for key, value in payload.get("checks", {}).items()},
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def headlines(self) -> Dict[str, float]:
+        return {key: metric.value for key, metric in self.metrics.items()
+                if metric.headline}
+
+
+@dataclass
+class BenchSuiteReport:
+    """The orchestrator's single output: every bench's result plus the
+    environment fingerprint of the machine that produced them."""
+
+    generated_at: str
+    fingerprint: Dict[str, Any] = field(default_factory=dict)
+    tier: Optional[str] = None
+    results: Dict[str, BenchResult] = field(default_factory=dict)
+    runs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "generated_at": self.generated_at,
+            "tier": self.tier,
+            "fingerprint": dict(self.fingerprint),
+            "results": {name: result.to_dict()
+                        for name, result in self.results.items()},
+            "runs": dict(self.runs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BenchSuiteReport":
+        _require_version(payload, "suite report")
+        return cls(
+            generated_at=str(payload["generated_at"]),
+            tier=payload.get("tier"),
+            fingerprint=dict(payload.get("fingerprint", {})),
+            results={name: BenchResult.from_dict(value)
+                     for name, value in payload.get("results", {}).items()},
+            runs=dict(payload.get("runs", {})),
+        )
+
+    def headlines(self) -> Dict[str, float]:
+        """Flattened ``bench.metric -> value`` map of headline metrics."""
+        flat: Dict[str, float] = {}
+        for name, result in sorted(self.results.items()):
+            for key, value in result.headlines().items():
+                flat[f"{name}.{key}"] = value
+        return flat
+
+
+class BenchRecorder:
+    """Incrementally build one bench's :class:`BenchResult` on disk.
+
+    Scripts construct one recorder at module level and call
+    :meth:`metric` / :meth:`check` from their tests; every call rewrites
+    ``<artifact_dir>/results/<name>.json`` atomically, so a partially
+    failed pytest run still leaves the metrics it did produce.  A fresh
+    recorder merges into an existing file of the same name/kind/version
+    (the parity-gate and perf tiers of one script run as separate pytest
+    processes but share one result), and silently starts over when the
+    file is stale or unreadable.
+    """
+
+    def __init__(self, name: str, kind: str, artifact_dir: str,
+                 meta: Optional[Mapping[str, Any]] = None):
+        self.path = os.path.join(artifact_dir, "results", f"{name}.json")
+        self.result = BenchResult(name=name, kind=kind)
+        if os.path.exists(self.path):
+            try:
+                with open(self.path) as handle:
+                    previous = BenchResult.from_dict(json.load(handle))
+                if previous.name == name and previous.kind == kind:
+                    self.result = previous
+            except (ValueError, KeyError, OSError, json.JSONDecodeError):
+                pass  # stale/corrupt artifact: start over
+        if meta:
+            self.result.meta.update(meta)
+
+    def metric(self, key: str, value: float, unit: str = "",
+               headline: bool = False) -> float:
+        self.result.metrics[key] = Metric(value=float(value), unit=unit,
+                                          headline=headline)
+        self.flush()
+        return float(value)
+
+    def check(self, key: str, passed: bool) -> bool:
+        self.result.checks[key] = bool(passed)
+        self.flush()
+        return bool(passed)
+
+    def annotate(self, **meta: Any) -> None:
+        self.result.meta.update(meta)
+        self.flush()
+
+    def flush(self) -> None:
+        write_json(self.path, self.result.to_dict())

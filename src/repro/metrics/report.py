@@ -10,7 +10,8 @@ import numpy as np
 from repro.metrics.classification import F1Result, f1_at_hotspot_threshold
 from repro.metrics.regression import mae
 
-__all__ = ["CaseMetrics", "score_case", "average_metrics", "metric_ratios"]
+__all__ = ["CaseMetrics", "score_case", "average_metrics", "metric_ratios",
+           "format_markdown_table", "format_html_table", "html_escape"]
 
 
 @dataclass(frozen=True)
@@ -75,3 +76,41 @@ def metric_ratios(averages: Dict[str, CaseMetrics],
             "tat": row.tat_seconds / base.tat_seconds if base.tat_seconds else 0.0,
         }
     return ratios
+
+
+# ----------------------------------------------------------------------
+# Generic table rendering (shared by the bench report generator)
+# ----------------------------------------------------------------------
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavoured markdown table, columns padded for plain-text
+    readability."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    def line(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) \
+            + " |"
+    out = [line(cells[0]),
+           "| " + " | ".join("-" * w for w in widths) + " |"]
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def html_escape(text: object) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def format_html_table(headers: Sequence[str],
+                      rows: Sequence[Sequence[object]]) -> str:
+    out = ["<table>", "  <tr>"]
+    out.extend(f"    <th>{html_escape(h)}</th>" for h in headers)
+    out.append("  </tr>")
+    for row in rows:
+        out.append("  <tr>")
+        out.extend(f"    <td>{html_escape(c)}</td>" for c in row)
+        out.append("  </tr>")
+    out.append("</table>")
+    return "\n".join(out)

@@ -1,14 +1,23 @@
-"""Turn-around-time measurement (paper Definition 3)."""
+"""Turn-around-time measurement (paper Definition 3).
+
+The sampling primitives (single timed run, median-of-k, geometric mean)
+are shared with the benchmark fleet and live once in
+:mod:`repro.bench.measure`; this module keeps the TAT-facing surface
+(:class:`Timer`, :func:`measure_tat`) on top of them.
+"""
 
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Callable, Tuple, TypeVar
 
-__all__ = ["Timer", "measure_tat"]
+from repro.bench.measure import geomean, median, median_of, timed
 
-T = TypeVar("T")
+__all__ = ["Timer", "measure_tat", "timed", "median", "median_of", "geomean"]
+
+#: ``measure_tat(fn)`` is the paper-facing name for one timed run; it is
+#: the same function the bench fleet uses, so every TAT and every bench
+#: number comes from one clock discipline.
+measure_tat = timed
 
 
 class Timer:
@@ -25,10 +34,3 @@ class Timer:
     def __exit__(self, *exc_info) -> None:
         self.seconds += time.perf_counter() - self._start
         self._start = None
-
-
-def measure_tat(fn: Callable[[], T]) -> Tuple[T, float]:
-    """Run ``fn`` once, returning (result, elapsed seconds)."""
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start

@@ -1,0 +1,86 @@
+"""Tests for the shared measurement helpers (repro.bench.measure)."""
+
+import pytest
+
+from repro.bench import measure
+from repro.bench.measure import geomean, interleaved, median, median_of, timed
+from repro.metrics import timing
+
+
+class TestTimed:
+    def test_returns_result_and_seconds(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_timing_module_reexports_same_object(self):
+        # satellite (b): metrics.timing consumers share one implementation
+        assert timing.timed is timed
+        assert timing.measure_tat is timed
+        assert timing.median is median
+        assert timing.geomean is geomean
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_takes_upper(self):
+        # historical convention across the bench scripts: sorted[n // 2]
+        assert median([1.0, 2.0, 3.0, 4.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestGeomean:
+    def test_matches_closed_form(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestMedianOf:
+    def test_returns_median_seconds(self):
+        assert median_of(lambda: None, rounds=3) >= 0.0
+
+    def test_warmup_and_rounds_counted(self):
+        calls = []
+        median_of(lambda: calls.append(1), rounds=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            median_of(lambda: None, rounds=0)
+
+
+class TestInterleaved:
+    def test_round_robin_is_fair_and_complete(self):
+        order = []
+        contenders = {
+            "a": lambda: order.append("a"),
+            "b": lambda: order.append("b"),
+        }
+        result = interleaved(contenders, rounds=3, warmup=1)
+        assert set(result) == {"a", "b"}
+        # warmup (1 each) + rounds are interleaved a,b,a,b,...
+        assert order == ["a", "b"] * 4
+
+    def test_timings_are_non_negative_medians(self):
+        result = interleaved({"x": lambda: None}, rounds=2)
+        assert result["x"] >= 0.0
+
+
+def test_all_exports_resolve():
+    for name in measure.__all__:
+        assert getattr(measure, name) is not None

@@ -1,0 +1,59 @@
+"""Smoke tests for the markdown/HTML report renderers."""
+
+from repro.bench.compare import Reference, ResultComparator, ToleranceSpec
+from repro.bench.render import render_html, render_markdown
+from repro.bench.schema import BenchResult, BenchSuiteReport, Metric
+
+
+def _report():
+    result = BenchResult(name="solver_scaling", kind="perf")
+    result.metrics["factor_once_speedup"] = Metric(4.0, unit="x",
+                                                   headline=True)
+    result.checks["solve_exact_at_every_size"] = True
+    return BenchSuiteReport(
+        generated_at="2026-08-08T00:00:00+00:00",
+        fingerprint={"python": "3.11", "env": {"REPRO_BENCH_EPOCHS": "2"}},
+        tier="perf",
+        results={"solver_scaling": result},
+        runs={"solver.perf": {"status": "passed", "seconds": 1.5}})
+
+
+def _comparison(measured_report, floor=3.0):
+    reference = Reference()
+    reference.metrics["solver_scaling"] = {
+        "factor_once_speedup": ToleranceSpec.from_dict({"floor": floor})}
+    return ResultComparator(reference).compare(measured_report)
+
+
+class TestMarkdown:
+    def test_contains_all_sections(self):
+        report = _report()
+        text = render_markdown(report, _comparison(report))
+        assert "# Benchmark report" in text
+        assert "**Reference comparison: PASS**" in text
+        assert "## Environment" in text
+        assert "## solver_scaling (perf)" in text
+        assert "factor_once_speedup" in text
+        assert "## Reference comparison" in text
+        assert "## Orchestrated runs" in text
+
+    def test_failure_is_visible(self):
+        report = _report()
+        text = render_markdown(report, _comparison(report, floor=10.0))
+        assert "**Reference comparison: FAIL**" in text
+        assert "floor" in text
+
+    def test_renders_without_comparison(self):
+        text = render_markdown(_report())
+        assert "Reference comparison" not in text
+
+
+class TestHtml:
+    def test_well_formed_and_escaped(self):
+        report = _report()
+        report.results["solver_scaling"].checks["a<b"] = True
+        html = render_html(report, _comparison(report))
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</body></html>")
+        assert "a&lt;b" in html
+        assert "solver_scaling" in html

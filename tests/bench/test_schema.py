@@ -1,0 +1,154 @@
+"""Tests for the versioned bench result schema and the recorder."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchRecorder,
+    BenchResult,
+    BenchSuiteReport,
+    Metric,
+    SchemaVersionError,
+    write_json,
+)
+
+
+def _result(name="solver_scaling", kind="perf"):
+    result = BenchResult(name=name, kind=kind)
+    result.metrics["factor_once_speedup"] = Metric(4.2, unit="x",
+                                                   headline=True)
+    result.metrics["crossover_nodes"] = Metric(18_000.0)
+    result.checks["solve_exact_at_every_size"] = True
+    result.meta["series"] = [1, 2, 3]
+    return result
+
+
+class TestMetric:
+    def test_round_trip(self):
+        metric = Metric(3.5, unit="x", headline=True)
+        assert Metric.from_dict(metric.to_dict()) == metric
+
+    def test_defaults_omitted_from_dict(self):
+        assert Metric(1.0).to_dict() == {"value": 1.0}
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Metric.from_dict({"value": 1.0, "speedup": 2.0})
+
+
+class TestBenchResult:
+    def test_round_trip(self):
+        result = _result()
+        clone = BenchResult.from_dict(result.to_dict())
+        assert clone.name == result.name
+        assert clone.kind == result.kind
+        assert clone.metrics == result.metrics
+        assert clone.checks == result.checks
+        assert clone.meta == result.meta
+
+    def test_dict_is_json_serialisable(self):
+        json.dumps(_result().to_dict())
+
+    def test_version_stamped(self):
+        assert _result().to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_future_version_refused(self):
+        payload = _result().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            BenchResult.from_dict(payload)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            BenchResult(name="x", kind="speed")
+
+    def test_headlines(self):
+        assert _result().headlines() == {"factor_once_speedup": 4.2}
+
+
+class TestBenchSuiteReport:
+    def test_round_trip_and_flattened_headlines(self):
+        report = BenchSuiteReport(
+            generated_at="2026-08-08T00:00:00Z",
+            fingerprint={"python": "3.x"},
+            tier="perf",
+            results={"solver_scaling": _result(),
+                     "inference": _result("inference")})
+        clone = BenchSuiteReport.from_dict(report.to_dict())
+        assert sorted(clone.results) == ["inference", "solver_scaling"]
+        assert clone.results["inference"].kind == "perf"
+        assert clone.headlines() == {
+            "solver_scaling.factor_once_speedup": 4.2,
+            "inference.factor_once_speedup": 4.2,
+        }
+
+    def test_version_refused(self):
+        payload = BenchSuiteReport(generated_at="t").to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SchemaVersionError):
+            BenchSuiteReport.from_dict(payload)
+
+
+def _read(rec):
+    with open(rec.path) as handle:
+        return json.load(handle)
+
+
+class TestBenchRecorder:
+    def test_writes_artifact_on_flush(self, tmp_path):
+        rec = BenchRecorder("solver_scaling", "perf", str(tmp_path))
+        value = rec.metric("factor_once_speedup", 4.0, unit="x",
+                           headline=True)
+        assert value == 4.0
+        assert rec.check("parity", True) is True
+        rec.annotate(series=[1, 2])
+        payload = _read(rec)
+        assert payload["name"] == "solver_scaling"
+        assert payload["metrics"]["factor_once_speedup"]["value"] == 4.0
+        assert payload["checks"]["parity"] is True
+        assert payload["meta"]["series"] == [1, 2]
+
+    def test_metric_flushes_immediately(self, tmp_path):
+        import os
+
+        rec = BenchRecorder("inference", "perf", str(tmp_path))
+        rec.metric("speedup", 2.0)
+        assert os.path.exists(rec.path)
+
+    def test_two_recorders_merge_into_one_artifact(self, tmp_path):
+        # gating and perf pytest processes of one script share an artifact
+        first = BenchRecorder("inference", "perf", str(tmp_path))
+        first.check("float64_bit_exact", True)
+        second = BenchRecorder("inference", "perf", str(tmp_path))
+        second.metric("speedup", 2.5)
+        assert first.path == second.path
+        payload = _read(second)
+        assert payload["checks"]["float64_bit_exact"] is True
+        assert payload["metrics"]["speedup"]["value"] == 2.5
+
+    def test_kind_mismatch_starts_over(self, tmp_path):
+        first = BenchRecorder("inference", "perf", str(tmp_path))
+        first.metric("speedup", 2.5)
+        second = BenchRecorder("inference", "parity", str(tmp_path))
+        second.check("exact", True)
+        payload = _read(second)
+        assert payload["kind"] == "parity"
+        assert payload["metrics"] == {}
+
+    def test_corrupt_existing_artifact_starts_over(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "inference.json").write_text("{not json")
+        rec = BenchRecorder("inference", "perf", str(tmp_path))
+        rec.metric("speedup", 2.5)
+        payload = _read(rec)
+        assert payload["metrics"] == {"speedup": {"value": 2.5}}
+
+
+class TestWriteJson:
+    def test_atomic_write_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.json"
+        write_json(target, {"b": 1, "a": 2})
+        assert json.loads(target.read_text()) == {"a": 2, "b": 1}
