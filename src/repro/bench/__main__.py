@@ -138,7 +138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         runner = BenchRunner(paths["benchmarks"])
         runs = runner.run(tier=args.tier, only=args.only)
-        report = runner.report(runs, tier=args.tier)
+        report = runner.report(runs, tier=args.tier,
+                               partial=bool(args.only))
         write_json(paths["report"], report.to_dict())
         print(f"report: {paths['report']} "
               f"({len(report.results)} bench results)")

@@ -268,7 +268,8 @@ class ResultComparator:
       (tier-filtered runs legitimately omit whole benches);
     * within a reported bench, a referenced metric/check that the report
       lacks is **missing** (a failure — the fleet shrank) on a full run;
-      on a tier-filtered run (``report.tier`` set) it is *skipped*,
+      on a tier-filtered run (``report.tier`` set) or an
+      ``--only``-restricted one (``report.partial``) it is *skipped*,
       because one script's parity and perf entries live in different
       tiers and a gating run only produces the parity half;
     * a reported metric with no spec is *untracked* (informative);
@@ -280,7 +281,9 @@ class ResultComparator:
 
     def compare(self, report: BenchSuiteReport) -> Comparison:
         comparison = Comparison()
-        absent = MISSING if report.tier is None else SKIPPED
+        full_run = report.tier is None and not getattr(
+            report, "partial", False)
+        absent = MISSING if full_run else SKIPPED
         ref_benches = set(self.reference.metrics) | set(self.reference.checks)
         for bench in sorted(ref_benches - set(report.results)):
             comparison.verdicts.append(Verdict(

@@ -55,6 +55,10 @@ DEFAULT_ENTRIES: Tuple[BenchEntry, ...] = (
     BenchEntry(name="inference.parity", bench="inference",
                script="bench_inference.py",
                tier="gating", kind="parity", marker="not perf"),
+    BenchEntry(name="serving.parity", bench="serving",
+               script="bench_serving.py",
+               tier="gating", kind="parity", marker="not perf",
+               depends=("inference.parity",)),
     BenchEntry(name="solver.perf", bench="solver_scaling",
                script="bench_solver_scaling.py",
                tier="perf", kind="perf", marker="perf",
@@ -63,6 +67,10 @@ DEFAULT_ENTRIES: Tuple[BenchEntry, ...] = (
                script="bench_inference.py",
                tier="perf", kind="perf", marker="perf",
                depends=("inference.parity",)),
+    BenchEntry(name="serving.perf", bench="serving",
+               script="bench_serving.py",
+               tier="perf", kind="perf", marker="perf",
+               depends=("serving.parity",)),
     BenchEntry(name="suite_synthesis.perf", bench="suite_synthesis",
                script="bench_suite_synthesis.py",
                tier="perf", kind="perf", depends=("solver.parity",)),
@@ -107,9 +115,10 @@ def select_entries(entries: Sequence[BenchEntry] = DEFAULT_ENTRIES,
                    only: Optional[Iterable[str]] = None) -> List[BenchEntry]:
     """Pick and dependency-order the entries to run.
 
-    ``tier`` restricts to one tier; ``only`` picks entries by entry name
-    or bench name and pulls in their transitive dependencies (a perf
-    entry never runs without its parity gate).  When both are given the
+    ``tier`` restricts to one tier; ``only`` picks entries by entry
+    name, bench name, or script name (``bench_serving`` /
+    ``bench_serving.py`` both work) and pulls in their transitive
+    dependencies (a perf entry never runs without its parity gate).  When both are given the
     tier filter is applied *after* dependency closure, so
     ``--tier perf --only inference`` runs ``inference.perf`` alone.
     Returns a deterministic topological order (registry order among
@@ -121,10 +130,16 @@ def select_entries(entries: Sequence[BenchEntry] = DEFAULT_ENTRIES,
 
     if only is not None:
         wanted = set(only)
+
+        def _aliases(entry: BenchEntry) -> Tuple[str, ...]:
+            stem = (entry.script[:-3] if entry.script.endswith(".py")
+                    else entry.script)
+            return (entry.name, entry.bench, entry.script, stem)
+
         matched = [e for e in entries
-                   if e.name in wanted or e.bench in wanted]
-        unknown = wanted - {e.name for e in matched} - {e.bench
-                                                        for e in matched}
+                   if wanted.intersection(_aliases(e))]
+        known = {alias for e in matched for alias in _aliases(e)}
+        unknown = wanted - known
         if unknown:
             raise ValueError(
                 f"--only matched no entry: {sorted(unknown)} "

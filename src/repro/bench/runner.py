@@ -141,17 +141,21 @@ def collect_results(results_dir: str) -> Dict[str, BenchResult]:
 
 def assemble_report(results_dir: str, fingerprint: Dict[str, Any],
                     runs: Sequence[EntryRun] = (),
-                    tier: Optional[str] = None) -> BenchSuiteReport:
+                    tier: Optional[str] = None,
+                    partial: bool = False) -> BenchSuiteReport:
     """One report from the current state of the results directory.
 
     The report covers *every* result present — a perf-tier run layered
     on top of an earlier gating run reports the whole fleet — while
     ``runs`` records which entries this invocation actually executed.
+    ``partial`` marks an ``--only``-restricted run so the comparator
+    treats absent metrics as skipped rather than a shrunken fleet.
     """
     return BenchSuiteReport(
         generated_at=_now(),
         fingerprint=fingerprint,
         tier=tier,
+        partial=partial,
         results=collect_results(results_dir),
         runs={run.name: run.to_dict() for run in runs},
     )
@@ -217,7 +221,9 @@ class BenchRunner:
 
     def report(self, runs: Sequence[EntryRun] = (),
                tier: Optional[str] = None,
-               cwd: Optional[str] = None) -> BenchSuiteReport:
+               cwd: Optional[str] = None,
+               partial: bool = False) -> BenchSuiteReport:
         fingerprint = environment_fingerprint(
             cwd or os.path.dirname(self.bench_dir))
-        return assemble_report(self.results_dir, fingerprint, runs, tier)
+        return assemble_report(self.results_dir, fingerprint, runs, tier,
+                               partial=partial)

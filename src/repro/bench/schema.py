@@ -149,6 +149,7 @@ class BenchSuiteReport:
     generated_at: str
     fingerprint: Dict[str, Any] = field(default_factory=dict)
     tier: Optional[str] = None
+    partial: bool = False   # True when the run was --only-restricted
     results: Dict[str, BenchResult] = field(default_factory=dict)
     runs: Dict[str, Any] = field(default_factory=dict)
 
@@ -157,6 +158,7 @@ class BenchSuiteReport:
             "schema_version": SCHEMA_VERSION,
             "generated_at": self.generated_at,
             "tier": self.tier,
+            "partial": self.partial,
             "fingerprint": dict(self.fingerprint),
             "results": {name: result.to_dict()
                         for name, result in self.results.items()},
@@ -169,6 +171,7 @@ class BenchSuiteReport:
         return cls(
             generated_at=str(payload["generated_at"]),
             tier=payload.get("tier"),
+            partial=bool(payload.get("partial", False)),
             fingerprint=dict(payload.get("fingerprint", {})),
             results={name: BenchResult.from_dict(value)
                      for name, value in payload.get("results", {}).items()},

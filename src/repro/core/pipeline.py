@@ -15,7 +15,9 @@ Three serving levers, all on by default:
 * **Batched ``predict_many``** — cases whose prepared tensors share a
   shape are grouped into multi-case forwards; per-case TAT accounting is
   preserved (per-case preprocessing/postprocessing is timed individually,
-  the shared forward is split evenly across the group).
+  the shared forward is attributed proportionally to per-case work via
+  :func:`split_forward_time`, with the raw group timings kept on
+  :attr:`IRPredictor.last_forward_groups`).
 * **Compiled forwards** (``engine="auto"``) — the eval forward runs on a
   grad-free :class:`~repro.infer.engine.InferenceEngine` plan instead of
   the autograd graph: no Tensor wrapping, BatchNorm/bias/ReLU fusion, and
@@ -35,6 +37,7 @@ from __future__ import annotations
 import os
 import time
 import zlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -51,7 +54,8 @@ from repro.train.loader import (
     _resolve_cache,
 )
 
-__all__ = ["IRPredictor", "INFER_ENGINE_ENV", "resolve_engine_mode"]
+__all__ = ["IRPredictor", "ForwardGroupStats", "INFER_ENGINE_ENV",
+           "resolve_engine_mode", "split_forward_time"]
 
 INFER_ENGINE_ENV = "REPRO_INFER_ENGINE"
 
@@ -87,6 +91,49 @@ def resolve_engine_mode(engine: Union[bool, str, None] = "auto") -> Union[bool, 
     return parse(value, INFER_ENGINE_ENV)
 
 
+def split_forward_time(total_seconds: float,
+                       work_units: Sequence[float]) -> List[float]:
+    """Attribute a shared forward's wall-clock to its members.
+
+    A grouped forward serves every member with one kernel sequence, so
+    the only honest per-case attribution is proportional to each case's
+    share of the work (here: its tensor element count).  An even split
+    fabricates TATs the moment members differ in size — a large case
+    batched with small ones would report the small cases' cost.  For the
+    homogeneous groups the shape-keyed batcher builds today, the
+    proportional split reduces to the even one; the sum of the shares
+    always equals ``total_seconds`` exactly (the last member absorbs the
+    rounding remainder), so summed TAT stays equal to wall-clock spent in
+    the model.
+    """
+    if not work_units:
+        raise ValueError("cannot attribute time across zero cases")
+    total_work = float(sum(work_units))
+    if total_work <= 0.0:
+        shares = [total_seconds / len(work_units)] * len(work_units)
+    else:
+        shares = [total_seconds * (float(work) / total_work)
+                  for work in work_units]
+    shares[-1] += total_seconds - sum(shares)
+    return shares
+
+
+@dataclass(frozen=True)
+class ForwardGroupStats:
+    """Group-level TAT record for one shared forward of ``predict_many``.
+
+    ``seconds`` is the full timed region (batch assembly + forward);
+    ``work_units`` are the per-case element counts the attribution used.
+    Exposed via :attr:`IRPredictor.last_forward_groups` so callers that
+    need honest batch-level accounting (the serving metrics) do not have
+    to reconstruct it from per-case shares.
+    """
+
+    indices: Tuple[int, ...]
+    seconds: float
+    work_units: Tuple[float, ...]
+
+
 class IRPredictor:
     """A trained model plus its fitted preprocessor.
 
@@ -104,9 +151,11 @@ class IRPredictor:
     engine (compile errors propagate), ``False`` forces the autograd
     path.  ``infer_dtype`` picks the engine precision (``None`` honours
     ``REPRO_INFER_DTYPE``, defaulting to bit-exact float64).  The engine
-    snapshots weights at first use — build the predictor after training /
-    checkpoint loading, or call :meth:`refresh_engine` after mutating the
-    model.
+    snapshots weights at first use; ``load_state_dict`` bumps the model's
+    ``state_version`` so compiled plans are invalidated automatically on
+    the next prediction (a serving hot-swap never serves stale folded
+    weights).  Direct ``param.data`` mutation is invisible to the version
+    counter — call :meth:`refresh_engine` after hand-editing weights.
     """
 
     def __init__(self, model: Module, preprocessor: CasePreprocessor,
@@ -137,6 +186,9 @@ class IRPredictor:
         cache lookup)."""
         self._engine: Optional[InferenceEngine] = None
         self._engine_error: Optional[str] = None
+        self.last_forward_groups: List[ForwardGroupStats] = []
+        """Group-level forward accounting of the most recent
+        :meth:`predict_many` call (empty for the sequential paths)."""
 
     # ------------------------------------------------------------------
     @property
@@ -248,12 +300,17 @@ class IRPredictor:
 
         Returns (prediction, TAT) pairs in input order.  Each case's TAT
         still covers its own preprocessing and postprocessing; the shared
-        forward of a group is split evenly across its members, so summed
-        TAT equals wall-clock spent in the model, as in the sequential
-        path.  With ``batched=False`` (or ``tta_samples > 1``, where each
-        case is already a full (S, ...) forward) cases run one at a time.
+        forward of a group is attributed proportionally to each member's
+        work (:func:`split_forward_time` — identical to an even split for
+        today's homogeneous shape groups), so summed TAT equals
+        wall-clock spent in the model, as in the sequential path, and a
+        large case can never book a smaller case's share.  The raw
+        group-level timings are kept in :attr:`last_forward_groups`.
+        With ``batched=False`` (or ``tta_samples > 1``, where each case
+        is already a full (S, ...) forward) cases run one at a time.
         """
         self.model.eval()
+        self.last_forward_groups = []
         if not self.batched or self.tta_samples > 1:
             return [self.predict_case(case) for case in cases]
 
@@ -287,10 +344,16 @@ class IRPredictor:
                     if self.preprocessor.use_pointcloud:
                         points = np.stack([prepared[i].points for i in chunk])
                     outputs = self._forward(features, points)
-                    share = (time.perf_counter() - start) / len(chunk)
+                    group_seconds = time.perf_counter() - start
+                    works = [float(prepared[i].features.size
+                                   + prepared[i].points.size) for i in chunk]
+                    shares = split_forward_time(group_seconds, works)
+                    self.last_forward_groups.append(ForwardGroupStats(
+                        indices=tuple(chunk), seconds=group_seconds,
+                        work_units=tuple(works)))
                     for row, index in enumerate(chunk):
                         scaled_maps[index] = outputs[row]
-                        forward_seconds[index] = share
+                        forward_seconds[index] = shares[row]
 
         results: List[Tuple[np.ndarray, float]] = []
         for index, item in enumerate(prepared):

@@ -46,8 +46,10 @@ equivalent builds are bit-identical.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,6 +64,7 @@ __all__ = [
     "CHANNEL_FILES", "FLOAT_ROUNDTRIP_RTOL",
     "CaseRef", "SuiteManifest", "MANIFEST_FORMAT",
     "manifest_filename", "write_manifest", "read_manifest", "merge_manifests",
+    "discover_manifests",
 ]
 
 CHANNEL_FILES: Dict[str, str] = {
@@ -221,6 +224,39 @@ def manifest_filename(shard: Optional[Tuple[int, int]] = None) -> str:
     return f"manifest-shard{int(index)}of{int(count)}.json"
 
 
+_SHARD_MANIFEST_RE = re.compile(r"manifest-shard(\d+)of(\d+)\.json$")
+
+
+def discover_manifests(directory: str) -> List[str]:
+    """The manifest files describing the suite stored in ``directory``.
+
+    Prefers the merged/unsharded ``manifest.json``; a directory holding
+    only per-shard manifests (``manifest-shard{i}of{n}.json`` — the
+    layout a sharded :func:`repro.data.synthesis.stream_suite` build
+    leaves before anyone merges it) returns every shard file in shard
+    order, ready to hand to
+    :class:`~repro.data.dataset.ShardedSuiteDataset` or
+    :func:`merge_manifests`.  A directory with neither raises a
+    ``FileNotFoundError`` that says what was expected, instead of the
+    bare missing-``manifest.json`` error the ingestion path used to
+    surface.
+    """
+    directory = os.fspath(directory)
+    merged = os.path.join(directory, manifest_filename())
+    if os.path.exists(merged):
+        return [merged]
+    shards = []
+    for path in glob.glob(os.path.join(directory, "manifest-shard*.json")):
+        match = _SHARD_MANIFEST_RE.search(os.path.basename(path))
+        if match:
+            shards.append((int(match.group(1)), path))
+    if shards:
+        return [path for _, path in sorted(shards)]
+    raise FileNotFoundError(
+        f"{directory!r} holds no suite manifest: expected "
+        f"{manifest_filename()!r} or manifest-shard{{i}}of{{n}}.json files")
+
+
 def write_manifest(manifest: SuiteManifest, path: str) -> str:
     """Write a manifest JSON (deterministic bytes); return the path."""
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
@@ -261,9 +297,14 @@ def merge_manifests(manifests: Sequence[SuiteManifest],
     Shards must come from the same suite build (identical ``suite`` and
     ``settings`` provenance) and reference disjoint case indices; the
     merged refs are sorted by index, so a merge of a complete shard set is
-    ref-for-ref identical to a single unsharded build.  When ``out_path``
-    is given the merged manifest is written there with case paths
-    re-expressed relative to it (the shard directories must share a
+    ref-for-ref identical to a single unsharded build.  Degenerate shard
+    layouts are first-class: a 0-case shard (more shards than cases)
+    contributes provenance but no refs — even as the first manifest — and
+    merging a single shard (1 shard of N, or an already-merged manifest)
+    is the identity on its refs.  Only a truly empty *sequence* is
+    refused, because no provenance exists to carry over.  When
+    ``out_path`` is given the merged manifest is written there with case
+    paths re-expressed relative to it (the shard directories must share a
     filesystem with ``out_path``).
     """
     if not manifests:

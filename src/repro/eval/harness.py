@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.pipeline import IRPredictor, resolve_engine_mode
 from repro.core.registry import MODEL_REGISTRY, ModelSpec
 from repro.data.dataset import IRDropDataset, ShardedSuiteDataset
-from repro.data.io import SuiteManifest, manifest_filename
+from repro.data.io import SuiteManifest, discover_manifests
 from repro.data.synthesis import BenchmarkSuite
 from repro.metrics.report import CaseMetrics, average_metrics, metric_ratios, score_case
 from repro.solver.store import FactorizationStore
@@ -139,15 +139,28 @@ def resolve_suite(source: SuiteSource):
     The result exposes ``fake_cases`` / ``real_cases`` / ``hidden_cases``
     / ``training_cases`` — satisfied by :class:`BenchmarkSuite` natively
     and by :class:`ShardedSuiteDataset` via its lazy kind views.
+
+    A directory source may hold either the merged ``manifest.json`` or
+    only per-shard manifests (``manifest-shard{i}of{n}.json``) — the
+    layout a sharded build leaves before merging; the shards are
+    discovered and merged in memory
+    (:func:`repro.data.io.discover_manifests`), so the serve ingestion
+    path can point straight at a freshly streamed suite directory.
     """
     if isinstance(source, (str, os.PathLike)):
-        path = os.fspath(source)
-        if os.path.isdir(path):
-            path = os.path.join(path, manifest_filename())
-        return ShardedSuiteDataset(path)
+        return ShardedSuiteDataset(_manifest_paths(source))
     if isinstance(source, SuiteManifest):
         return ShardedSuiteDataset(source)
     return source
+
+
+def _manifest_paths(source) -> Union[str, List[str]]:
+    """Path source → manifest file path(s): directories go through shard
+    discovery, explicit file paths are used as given."""
+    path = os.fspath(source)
+    if os.path.isdir(path):
+        return discover_manifests(path)
+    return path
 
 
 def _suite_payload(source: SuiteSource):
@@ -173,10 +186,8 @@ def _resolve_payload(payload):
     behave the same under ``workers=1`` and ``workers=N``.
     """
     if isinstance(payload, (str, os.PathLike)):
-        path = os.fspath(payload)
-        if os.path.isdir(path):
-            path = os.path.join(path, manifest_filename())
-        return ShardedSuiteDataset(path, require_complete=False)
+        return ShardedSuiteDataset(_manifest_paths(payload),
+                                   require_complete=False)
     if isinstance(payload, SuiteManifest):
         return ShardedSuiteDataset(payload, require_complete=False)
     return payload

@@ -69,6 +69,25 @@ class InferenceEngine:
         self.arena = arena if arena is not None else BufferArena()
         self._plans: Dict[tuple, Plan] = {}
         self._const_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._compiled_version = self._model_version()
+
+    def _model_version(self) -> int:
+        """The model's weight-state version (0 for non-Module models)."""
+        return int(getattr(self.model, "state_version", 0))
+
+    def _drop_stale_plans(self) -> None:
+        """Invalidate plans compiled against superseded weights.
+
+        ``Module.load_state_dict`` bumps the model's ``state_version``, so
+        a checkpoint loaded into a live model (a serving hot-swap, a
+        mid-session restore) is picked up on the next :meth:`run` without
+        the caller having to remember :meth:`refresh` — compiled plans
+        bake the weights as constants, so serving a stale plan would
+        silently keep predicting with the old weights.
+        """
+        if self._plans or self._const_cache:
+            if self._model_version() != self._compiled_version:
+                self.refresh()
 
     # ------------------------------------------------------------------
     def _const(self, array: np.ndarray) -> np.ndarray:
@@ -102,6 +121,7 @@ class InferenceEngine:
         :class:`InferenceUnsupportedError` (an ``"auto"`` predictor then
         falls back to autograd instead of serving corrupt outputs).
         """
+        self._drop_stale_plans()
         arrays = tuple(np.asarray(arg) for arg in args)
         signature = self._signature(arrays)
         plan = self._plans.get(signature)
@@ -149,6 +169,7 @@ class InferenceEngine:
         if getattr(self.model, "training", False):
             raise InferenceUnsupportedError(
                 "InferenceEngine.run requires eval mode; call model.eval()")
+        self._drop_stale_plans()
         arrays = tuple(np.asarray(arg) for arg in args)
         plan = self._plans.get(self._signature(arrays))
         if plan is None:
@@ -160,6 +181,7 @@ class InferenceEngine:
         """Drop compiled plans and cast constants (after weight updates)."""
         self._plans.clear()
         self._const_cache.clear()
+        self._compiled_version = self._model_version()
 
     @property
     def plan_count(self) -> int:

@@ -3,16 +3,64 @@
 The sampling primitives (single timed run, median-of-k, geometric mean)
 are shared with the benchmark fleet and live once in
 :mod:`repro.bench.measure`; this module keeps the TAT-facing surface
-(:class:`Timer`, :func:`measure_tat`) on top of them.
+(:class:`Timer`, :func:`measure_tat`) on top of them, plus the
+percentile summaries the serving layer reports per request
+(:func:`percentile`, :func:`latency_summary`).
 """
 
 from __future__ import annotations
 
+import math
 import time
+from typing import Dict, Sequence
 
 from repro.bench.measure import geomean, median, median_of, timed
 
-__all__ = ["Timer", "measure_tat", "timed", "median", "median_of", "geomean"]
+__all__ = ["Timer", "measure_tat", "timed", "median", "median_of", "geomean",
+           "percentile", "latency_summary", "LATENCY_PERCENTILES"]
+
+LATENCY_PERCENTILES = (50.0, 90.0, 99.0)
+"""The quantiles every serving report carries (p50/p90/p99)."""
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Nearest-rank (not interpolated) so every reported latency is one
+    that actually happened — p99 of 10 requests is the slowest request,
+    never a fabricated midpoint.  Raises on an empty sample: a serving
+    report with no completed requests has no percentiles, and returning
+    NaN would silently pass a ``<= ceiling`` gate.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sample")
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_summary(values: Sequence[float],
+                    quantiles: Sequence[float] = LATENCY_PERCENTILES,
+                    ) -> Dict[str, float]:
+    """Count/mean/max plus the standard percentiles of a latency sample.
+
+    Keys are stable (``count``, ``mean``, ``max``, ``p50`` ...) so the
+    summary can be recorded directly as benchmark metrics.
+    """
+    ordered = [float(v) for v in values]
+    if not ordered:
+        raise ValueError("latency_summary of an empty sample")
+    summary: Dict[str, float] = {
+        "count": float(len(ordered)),
+        "mean": sum(ordered) / len(ordered),
+        "max": max(ordered),
+    }
+    for q in quantiles:
+        label = f"p{q:g}".replace(".", "_")
+        summary[label] = percentile(ordered, q)
+    return summary
 
 #: ``measure_tat(fn)`` is the paper-facing name for one timed run; it is
 #: the same function the bench fleet uses, so every TAT and every bench

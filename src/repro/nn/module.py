@@ -25,6 +25,29 @@ class Module:
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_state_version", 0)
+
+    # ------------------------------------------------------------------
+    # Weight-state versioning
+    # ------------------------------------------------------------------
+    @property
+    def state_version(self) -> int:
+        """Monotone counter bumped by every :meth:`load_state_dict`.
+
+        Consumers that snapshot weights (the compiled
+        :class:`~repro.infer.engine.InferenceEngine` plans) compare this
+        against the value they captured, so loading a checkpoint into a
+        live model invalidates stale compiled state automatically.
+        Direct ``param.data`` mutation cannot be observed this way — call
+        :meth:`bump_state_version` (or the predictor's
+        ``refresh_engine()``) after hand-editing weights.
+        """
+        return getattr(self, "_state_version", 0)
+
+    def bump_state_version(self) -> int:
+        """Mark the module's weights as changed (returns the new version)."""
+        object.__setattr__(self, "_state_version", self.state_version + 1)
+        return self._state_version
 
     # ------------------------------------------------------------------
     # Attribute registration
@@ -120,6 +143,7 @@ class Module:
                 )
             param.data = value.copy()
         self._load_buffers(state, prefix="")
+        self.bump_state_version()
 
     def _load_buffers(self, state: Dict[str, np.ndarray], prefix: str) -> None:
         for name in list(self._buffers):

@@ -1,0 +1,44 @@
+"""Always-on IR-drop prediction serving (PR 7 tentpole).
+
+The layers, bottom to top:
+
+* :mod:`repro.serve.config` — :class:`ServeConfig` + ``REPRO_SERVE_*``;
+* :mod:`repro.serve.queue` — bounded admission, tickets, loud errors;
+* :mod:`repro.serve.worker` — thread/process worker pools, each worker
+  owning a private predictor (engine plans, buffer arena, prep cache);
+* :mod:`repro.serve.service` — micro-batching scheduler + façade;
+* :mod:`repro.serve.registry` — content-addressed checkpoint registry
+  feeding hot-swaps;
+* :mod:`repro.serve.loadgen` — synthetic open-loop load generator.
+
+``python -m repro.serve`` runs a self-contained demo daemon under
+synthetic load (see ``__main__.py``).
+"""
+
+from repro.serve.config import ServeConfig, WORKER_KINDS
+from repro.serve.loadgen import LoadReport, open_loop_load
+from repro.serve.queue import (
+    BackpressureError,
+    PredictionFailedError,
+    PredictionRequest,
+    PredictionTicket,
+    RequestQueue,
+    ServeError,
+    ServeResult,
+    ServiceClosedError,
+    WorkerDiedError,
+)
+from repro.serve.registry import SERVE_CHECKPOINT_FORMAT, ModelRegistry
+from repro.serve.service import PredictionService
+from repro.serve.worker import PredictorSpec, ProcessWorkerPool, ThreadWorkerPool
+
+__all__ = [
+    "ServeConfig", "WORKER_KINDS",
+    "RequestQueue", "PredictionRequest", "PredictionTicket", "ServeResult",
+    "ServeError", "BackpressureError", "ServiceClosedError",
+    "WorkerDiedError", "PredictionFailedError",
+    "PredictorSpec", "ThreadWorkerPool", "ProcessWorkerPool",
+    "PredictionService",
+    "ModelRegistry", "SERVE_CHECKPOINT_FORMAT",
+    "LoadReport", "open_loop_load",
+]

@@ -1,0 +1,164 @@
+"""``python -m repro.serve`` — run the serving daemon under synthetic
+open-loop load.
+
+Self-contained demo/smoke entrypoint: synthesises a small benchmark
+suite, builds the requested registered model, serves the hidden cases at
+the requested arrival rate, and prints the serving report (throughput,
+latency/TAT percentiles, rejects).  ``--check-parity`` additionally
+verifies every served prediction bit-for-bit against a direct
+``IRPredictor.predict_case`` on the same weights — the acceptance
+criterion of the serving PR — and exits non-zero on any mismatch.
+
+All ``REPRO_SERVE_*`` environment knobs apply; CLI flags override them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.core.registry import MODEL_REGISTRY
+from repro.data.synthesis import make_suite
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import open_loop_load
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import PredictionService
+from repro.serve.worker import PredictorSpec
+from repro.train.loader import CasePreprocessor
+from repro.train.seed import seed_everything
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def build_spec(model_name: str, edge: int, points: int,
+               suite) -> PredictorSpec:
+    spec = MODEL_REGISTRY[model_name]
+    seed_everything(0)
+    model = spec.build()
+    model.eval()
+    preprocessor = CasePreprocessor(
+        channels=spec.channels, target_edge=edge, num_points=points,
+        use_pointcloud=spec.uses_pointcloud)
+    preprocessor.fit(list(suite.training_cases))
+    return PredictorSpec(
+        model=model, preprocessor=preprocessor, name=model_name,
+        kwargs={"tta_samples": 1, "engine": "auto", "prep_cache": 64})
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--model", default="LMM-IR (Ours)",
+                        choices=sorted(MODEL_REGISTRY),
+                        help="registered model to serve")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="open-loop arrival rate, requests/s")
+    parser.add_argument("--requests", type=int, default=60,
+                        help="total requests to offer")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--worker-kind", choices=("thread", "process"),
+                        default=None)
+    parser.add_argument("--queue", type=int, default=None,
+                        help="admission queue capacity")
+    parser.add_argument("--max-batch", type=int, default=None)
+    parser.add_argument("--window-ms", type=float, default=None,
+                        help="micro-batch latency budget (ms)")
+    parser.add_argument("--retries", type=int, default=None)
+    parser.add_argument("--registry", default=None, metavar="DIR",
+                        help="checkpoint registry; the active checkpoint "
+                             "is loaded before serving and the initial "
+                             "weights are published if the registry is "
+                             "empty")
+    parser.add_argument("--check-parity", action="store_true",
+                        help="verify served predictions bit-for-bit "
+                             "against direct predict_case")
+    parser.add_argument("--edge", type=int,
+                        default=_env_int("REPRO_EVAL_EDGE", 48))
+    parser.add_argument("--points", type=int,
+                        default=_env_int("REPRO_EVAL_POINTS", 192))
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    for field_name, value in (("workers", args.workers),
+                              ("worker_kind", args.worker_kind),
+                              ("queue_capacity", args.queue),
+                              ("max_batch", args.max_batch),
+                              ("retries", args.retries)):
+        if value is not None:
+            overrides[field_name] = value
+    if args.window_ms is not None:
+        overrides["batch_window_s"] = args.window_ms / 1000.0
+    config = ServeConfig.from_env(**overrides)
+
+    print(f"synthesising suite (edge base, hidden cases for load) ...",
+          flush=True)
+    suite = make_suite(
+        num_fake=_env_int("REPRO_BENCH_FAKE", 4),
+        num_real=_env_int("REPRO_BENCH_REAL", 2),
+        num_hidden=_env_int("REPRO_BENCH_HIDDEN", 6),
+        seed=_env_int("REPRO_BENCH_SEED", 3))
+    cases = list(suite.hidden_cases)
+    spec = build_spec(args.model, args.edge, args.points, suite)
+
+    if args.registry:
+        registry = ModelRegistry(args.registry)
+        if registry.active is None:
+            identity = registry.publish(args.model, spec.model)
+            print(f"published initial checkpoint "
+                  f"{identity['name']}@{identity['digest']}")
+        else:
+            spec.model.load_state_dict(registry.load_state(registry.active))
+            print(f"loaded active checkpoint {registry.active!r} "
+                  f"from {registry.root}")
+
+    print(f"serving {args.model!r} with {config.workers} "
+          f"{config.worker_kind} worker(s): queue={config.queue_capacity}, "
+          f"max_batch={config.max_batch}, "
+          f"window={config.batch_window_s * 1e3:g}ms", flush=True)
+    service = PredictionService(spec, config)
+    with service:
+        report = open_loop_load(service, cases, rate_hz=args.rate,
+                                total=args.requests)
+        stats = service.stats()
+
+    summary = report.summary()
+    print(json.dumps({"load": summary, "service": stats}, indent=2,
+                     sort_keys=True, default=float))
+    for line in report.errors:
+        print(f"request failed: {line}", file=sys.stderr)
+
+    if report.failed:
+        print(f"FAIL: {report.failed} request(s) failed", file=sys.stderr)
+        return 1
+    if not report.results:
+        print("FAIL: no requests served", file=sys.stderr)
+        return 1
+
+    if args.check_parity:
+        direct = spec.build()
+        mismatches = 0
+        checked = {}
+        for case, result in report.results:
+            if case.name not in checked:
+                checked[case.name], _ = direct.predict_case(case)
+            if not np.array_equal(result.prediction, checked[case.name]):
+                mismatches += 1
+        if mismatches:
+            print(f"FAIL: {mismatches}/{len(report.results)} served "
+                  f"predictions differ from direct predict_case",
+                  file=sys.stderr)
+            return 1
+        print(f"parity OK: {len(report.results)} served predictions "
+              f"bit-identical to direct predict_case")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Serving-daemon knobs (:class:`ServeConfig`) and their environment
+surface.
+
+Every knob has a ``REPRO_SERVE_*`` environment variable so a deployed
+daemon is tuned without code changes (the table lives in EXPERIMENTS.md
+"Serving"):
+
+=========================  ============================================
+variable                   meaning
+=========================  ============================================
+REPRO_SERVE_WORKERS        worker count (default 1 — the measured
+                           reference box is single-core; raise on real
+                           multi-core hardware)
+REPRO_SERVE_WORKER_KIND    ``thread`` (default) or ``process``
+REPRO_SERVE_QUEUE          admission-queue bound (requests)
+REPRO_SERVE_MAX_BATCH      micro-batch size ceiling
+REPRO_SERVE_WINDOW_MS      micro-batch latency budget, milliseconds
+REPRO_SERVE_RETRIES        re-dispatch attempts after a worker death
+REPRO_SERVE_MP_CONTEXT     multiprocessing start method for process
+                           workers (default ``spawn``: never forks a
+                           threaded parent)
+=========================  ============================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig", "WORKER_KINDS"]
+
+WORKER_KINDS = ("thread", "process")
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one :class:`~repro.serve.service.PredictionService`.
+
+    ``batch_window_s`` is the *latency budget* of the micro-batcher: once
+    the first request of a batch is picked up, the scheduler waits at
+    most this long for companions before dispatching, so an idle service
+    adds no more than the window to a lone request's latency while a
+    loaded one coalesces up to ``max_batch`` cases into one forward
+    (the continuous form of ``predict_many``'s same-shape grouping).
+    ``queue_capacity`` bounds admission: a submit against a full queue is
+    rejected loudly (:class:`~repro.serve.queue.BackpressureError`),
+    never silently dropped.
+    """
+
+    workers: int = 1
+    worker_kind: str = "thread"
+    queue_capacity: int = 64
+    max_batch: int = 8
+    batch_window_s: float = 0.002
+    retries: int = 1
+    mp_context: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.worker_kind not in WORKER_KINDS:
+            raise ValueError(
+                f"worker_kind must be one of {WORKER_KINDS}, "
+                f"got {self.worker_kind!r}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_window_s < 0:
+            raise ValueError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServeConfig":
+        """Build a config honouring ``REPRO_SERVE_*`` variables; explicit
+        keyword overrides win over the environment."""
+        def env_int(name: str, default: int) -> int:
+            return int(os.environ.get(name, default))
+
+        config = cls(
+            workers=env_int("REPRO_SERVE_WORKERS", cls.workers),
+            worker_kind=os.environ.get("REPRO_SERVE_WORKER_KIND",
+                                       cls.worker_kind).strip().lower(),
+            queue_capacity=env_int("REPRO_SERVE_QUEUE", cls.queue_capacity),
+            max_batch=env_int("REPRO_SERVE_MAX_BATCH", cls.max_batch),
+            batch_window_s=float(os.environ.get(
+                "REPRO_SERVE_WINDOW_MS",
+                cls.batch_window_s * 1000.0)) / 1000.0,
+            retries=env_int("REPRO_SERVE_RETRIES", cls.retries),
+            mp_context=os.environ.get("REPRO_SERVE_MP_CONTEXT",
+                                      cls.mp_context).strip().lower(),
+        )
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise TypeError(f"unknown ServeConfig field {key!r}")
+            setattr(config, key, value)
+        config.__post_init__()
+        return config

@@ -1,0 +1,127 @@
+"""Synthetic open-loop load generator for the serving daemon.
+
+*Open loop* means arrivals are paced by a clock, not by completions: the
+generator submits at the configured rate whether or not the service is
+keeping up, exactly like independent clients would.  That is the only
+honest way to observe the admission layer — a closed loop (submit, wait,
+repeat) self-throttles and can never overflow the queue, hiding both the
+latency the paper's TAT numbers care about and the backpressure
+behaviour this PR gates on.
+
+Rejections are part of the report, not an error: an overloaded service
+answering ``BackpressureError`` quickly is *correct* serving behaviour,
+and ``LoadReport.rejected`` quantifies it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.case import CaseBundle
+from repro.metrics.timing import latency_summary
+from repro.serve.queue import (
+    BackpressureError,
+    PredictionTicket,
+    ServeError,
+    ServeResult,
+)
+from repro.serve.service import PredictionService
+
+__all__ = ["LoadReport", "open_loop_load"]
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop run observed, ready for the bench recorder."""
+
+    offered: int = 0            # submit attempts
+    accepted: int = 0           # admitted by the queue
+    rejected: int = 0           # BackpressureError answers
+    failed: int = 0             # admitted but failed (worker death ...)
+    duration_s: float = 0.0     # first submit -> last result
+    results: List[Tuple[CaseBundle, ServeResult]] = field(
+        default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def served(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput(self) -> float:
+        """Served cases per second over the whole run."""
+        return self.served / self.duration_s if self.duration_s > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metric dict (latency/TAT percentiles, rates, counts)."""
+        report: Dict[str, float] = {
+            "offered": float(self.offered),
+            "accepted": float(self.accepted),
+            "rejected": float(self.rejected),
+            "failed": float(self.failed),
+            "served": float(self.served),
+            "duration_s": self.duration_s,
+            "throughput_cases_per_s": self.throughput,
+        }
+        if self.results:
+            latencies = [r.latency_seconds for _, r in self.results]
+            tats = [r.tat_seconds for _, r in self.results]
+            sizes = [r.batch_size for _, r in self.results]
+            for key, value in latency_summary(latencies).items():
+                report[f"latency_{key}_s"] = value
+            for key, value in latency_summary(tats).items():
+                report[f"tat_{key}_s"] = value
+            report["batch_size_mean"] = sum(sizes) / len(sizes)
+        return report
+
+
+def open_loop_load(service: PredictionService,
+                   cases: Sequence[CaseBundle],
+                   rate_hz: float,
+                   total: int,
+                   result_timeout: float = 120.0) -> LoadReport:
+    """Offer ``total`` requests at ``rate_hz`` (round-robin over
+    ``cases``), then collect every outcome.
+
+    Pacing is deterministic (uniform inter-arrival ``1/rate_hz`` against
+    an absolute schedule, so submit jitter does not accumulate).  The
+    generator never waits for results while offering — that is the open
+    loop — and drains all accepted tickets afterwards.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+    if total < 1:
+        raise ValueError(f"total must be >= 1, got {total}")
+    if not cases:
+        raise ValueError("no cases to offer")
+
+    report = LoadReport()
+    pending: List[Tuple[CaseBundle, PredictionTicket]] = []
+    interval = 1.0 / float(rate_hz)
+    start = time.perf_counter()
+    for index in range(total):
+        due = start + index * interval
+        delay = due - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        case = cases[index % len(cases)]
+        report.offered += 1
+        try:
+            pending.append((case, service.submit(case)))
+            report.accepted += 1
+        except BackpressureError:
+            report.rejected += 1
+
+    deadline = time.perf_counter() + result_timeout
+    for case, ticket in pending:
+        remaining = max(0.0, deadline - time.perf_counter())
+        try:
+            report.results.append((case, ticket.result(remaining)))
+        except (ServeError, TimeoutError) as error:
+            report.failed += 1
+            report.errors.append(
+                f"{case.name}: {type(error).__name__}: {error}")
+    report.duration_s = time.perf_counter() - start
+    return report

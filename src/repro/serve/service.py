@@ -1,0 +1,237 @@
+"""The long-lived prediction service: admission, micro-batching,
+dispatch, and hot-swap.
+
+:class:`PredictionService` glues the serving layers together::
+
+    submit() -> RequestQueue -> scheduler thread -> worker pool
+      (admission)   (bounded)    (micro-batches)     (predict_many)
+
+The scheduler generalises ``IRPredictor.predict_many``'s same-shape
+grouping to a *continuous* stream: it pops the next request, then waits
+up to ``batch_window_s`` (the latency budget) for companions, dispatching
+at most ``max_batch`` cases as one micro-batch.  Workers route the batch
+through ``predict_many``, which re-groups by prepared shape internally,
+so a coalesced batch is bit-identical (float64 engine) to serial
+``predict_case`` calls — the parity property the serving benchmark gates
+on.
+
+Overload is loud by construction: admission is the bounded
+:class:`~repro.serve.queue.RequestQueue` (reject-with-reason), worker
+death surfaces as :class:`~repro.serve.queue.WorkerDiedError` after
+bounded retries, and shutdown fails undrained tickets with
+:class:`~repro.serve.queue.ServiceClosedError` — a submitted request
+always resolves, one way or the other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import IRPredictor
+from repro.data.case import CaseBundle
+from repro.metrics.timing import latency_summary
+from repro.serve.config import ServeConfig
+from repro.serve.queue import (
+    PredictionRequest,
+    PredictionTicket,
+    RequestQueue,
+    ServeResult,
+    ServiceClosedError,
+)
+from repro.serve.worker import PredictorSpec, ProcessWorkerPool, ThreadWorkerPool
+
+__all__ = ["PredictionService"]
+
+
+class PredictionService:
+    """Always-on IR-drop prediction daemon around one model.
+
+    Built from a :class:`~repro.serve.worker.PredictorSpec` (or an
+    existing :class:`~repro.core.pipeline.IRPredictor` via
+    :meth:`from_predictor`); ``config`` picks worker kind/count, queue
+    bound, and the micro-batch latency budget.  Use as a context manager
+    or call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(self, spec: PredictorSpec,
+                 config: Optional[ServeConfig] = None):
+        self.config = config if config is not None else ServeConfig()
+        self.spec = spec
+        self.queue = RequestQueue(self.config.queue_capacity)
+        pool_cls = (ThreadWorkerPool if self.config.worker_kind == "thread"
+                    else ProcessWorkerPool)
+        self.pool = pool_cls(spec, self.config, on_result=self._record)
+        self._ids = itertools.count()
+        self._scheduler: Optional[threading.Thread] = None
+        self._started = False
+        self._stopped = False
+        self._stats_lock = threading.Lock()
+        self._tickets: Deque[PredictionTicket] = deque()
+        self._served = 0
+        self._latencies: List[float] = []
+        self._tats: List[float] = []
+        self._queue_waits: List[float] = []
+        self._batch_sizes: List[int] = []
+
+    @classmethod
+    def from_predictor(cls, predictor: IRPredictor,
+                       config: Optional[ServeConfig] = None,
+                       ) -> "PredictionService":
+        return cls(PredictorSpec.from_predictor(predictor), config)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self.pool.start()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-scheduler",
+            daemon=True)
+        self._scheduler.start()
+        return self
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, case: CaseBundle) -> PredictionTicket:
+        """Admit one case; returns its ticket or raises loudly
+        (:class:`BackpressureError` / :class:`ServiceClosedError`).
+
+        Submitting before :meth:`start` is allowed — admission is the
+        queue's business, not the scheduler's — so callers (and the
+        deterministic backpressure tests) can pre-fill the bounded queue;
+        dispatch begins when the service starts."""
+        if self._stopped:
+            raise ServiceClosedError("service is stopped")
+        ticket = PredictionTicket(next(self._ids), case.name)
+        request = PredictionRequest(id=ticket.request_id, case=case,
+                                    ticket=ticket)
+        self.queue.submit(request)
+        with self._stats_lock:
+            # keep the drain list from growing without bound on a
+            # long-lived daemon: completed heads are no longer awaited
+            while self._tickets and self._tickets[0].done():
+                self._tickets.popleft()
+            self._tickets.append(ticket)
+        return ticket
+
+    def predict(self, case: CaseBundle,
+                timeout: Optional[float] = 60.0) -> ServeResult:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(case).result(timeout)
+
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        while True:
+            head = self.queue.pop(timeout=0.05)
+            if head is None:
+                if self.queue.closed and not len(self.queue):
+                    return
+                continue
+            batch = [head]
+            deadline = time.perf_counter() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                companion = self.queue.pop(timeout=remaining)
+                if companion is None:
+                    break
+                batch.append(companion)
+            now = time.perf_counter()
+            for request in batch:
+                request.dispatched = now
+            try:
+                self.pool.submit(batch)
+            except BaseException as error:
+                for request in batch:
+                    request.ticket.fail(error)
+
+    def _record(self, result: ServeResult) -> None:
+        with self._stats_lock:
+            self._served += 1
+            self._latencies.append(result.latency_seconds)
+            self._tats.append(result.tat_seconds)
+            self._queue_waits.append(result.queue_seconds)
+            self._batch_sizes.append(result.batch_size)
+
+    # ------------------------------------------------------------------
+    def swap(self, state: Dict[str, np.ndarray],
+             timeout: Optional[float] = 60.0) -> None:
+        """Hot-swap model weights without dropping in-flight requests.
+
+        Requests already dispatched complete on the old weights; every
+        request dispatched after :meth:`swap` returns is served by the
+        new ones.  ``load_state_dict`` bumps ``Module.state_version``, so
+        each worker's compiled engine invalidates its plans automatically
+        (no manual ``refresh_engine`` needed — the PR 7 staleness fix).
+        """
+        if not self._started or self._stopped:
+            raise ServiceClosedError("service is not running")
+        self.pool.swap(state, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving counters plus latency/TAT percentile summaries."""
+        with self._stats_lock:
+            served = self._served
+            latencies = list(self._latencies)
+            tats = list(self._tats)
+            queue_waits = list(self._queue_waits)
+            batch_sizes = list(self._batch_sizes)
+        report = {
+            "served": served,
+            "rejected": self.queue.rejected,
+            "queue_depth": len(self.queue),
+            "workers": self.pool.worker_count,
+            "worker_kind": self.config.worker_kind,
+        }
+        if latencies:
+            report["latency"] = latency_summary(latencies)
+            report["tat"] = latency_summary(tats)
+            report["queue_wait"] = latency_summary(queue_waits)
+            report["batch_size_mean"] = (
+                sum(batch_sizes) / len(batch_sizes))
+        return report
+
+    # ------------------------------------------------------------------
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Shut down; with ``drain`` (default) every admitted request is
+        served first, otherwise queued tickets fail loudly."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.queue.close()
+        if not self._started:
+            # nothing will ever serve what was pre-submitted: fail loudly
+            for request in self.queue.drain_pending():
+                request.ticket.fail(ServiceClosedError(
+                    "service stopped before it was started"))
+            return
+        if not drain:
+            for request in self.queue.drain_pending():
+                request.ticket.fail(ServiceClosedError(
+                    "service stopped without draining the queue"))
+        if self._scheduler is not None:
+            self._scheduler.join(timeout)
+            self._scheduler = None
+        if drain:
+            deadline = time.perf_counter() + timeout
+            with self._stats_lock:
+                tickets = list(self._tickets)
+            for ticket in tickets:
+                remaining = max(0.0, deadline - time.perf_counter())
+                if not ticket._event.wait(remaining):
+                    break  # pool.stop() fails whatever is still in flight
+        self.pool.stop()

@@ -24,6 +24,7 @@ curves match draw for draw.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
@@ -79,6 +80,29 @@ class Batch:
         return len(self.prepared)
 
 
+def _content_digest(case: CaseBundle) -> str:
+    """Digest of everything the deterministic stage reads from a bundle.
+
+    Feature maps and the golden map are hashed directly; the netlist —
+    which only reaches the prepared tensors through the encoded point
+    cloud — is fingerprinted by its element counts (its full topology is
+    already pinned transitively: the golden map is the solve of the
+    netlist, so distinct netlists virtually never share an ``ir_map``
+    bit pattern).
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(sorted(case.metadata.items())).encode())
+    digest.update(np.ascontiguousarray(case.ir_map).tobytes())
+    for channel in sorted(case.feature_maps):
+        digest.update(channel.encode())
+        digest.update(np.ascontiguousarray(case.feature_maps[channel]).tobytes())
+    netlist = case.netlist
+    digest.update(repr((netlist.num_nodes, len(netlist.resistors),
+                        len(netlist.current_sources),
+                        len(netlist.voltage_sources))).encode())
+    return digest.hexdigest()
+
+
 def _case_cache_key(case: CaseBundle) -> tuple:
     """Stable identity of a case for deterministic-stage caching.
 
@@ -86,16 +110,34 @@ def _case_cache_key(case: CaseBundle) -> tuple:
     (:attr:`repro.data.dataset.LazyCase.directory`) and are keyed by it,
     so oversampled views — and even distinct facade objects over the same
     directory — share one entry no matter how often the underlying bundle
-    is evicted and re-read.  In-memory bundles are keyed by object
-    identity; the cache entry keeps a strong reference to the case so the
-    id cannot be recycled while the entry lives.  (``CaseBundle`` itself
-    has no ``directory`` attribute, so ``getattr`` never hits its lazy
-    ``__getattr__``-style loading here.)
+    is evicted and re-read.  (``CaseBundle`` itself has no ``directory``
+    attribute, so ``getattr`` never hits its lazy ``__getattr__``-style
+    loading here.)
+
+    In-memory bundles are keyed by *content* identity — name, kind and a
+    digest of the maps/metadata.  The earlier scheme keyed them by pinned
+    ``id()``, which a long-lived serving process cannot trust: once an
+    entry is evicted its strong reference dies, the interpreter may
+    recycle the id for a brand-new same-named case, and the cache would
+    serve the old case's tensors.  Content keys also let two equal
+    bundles (e.g. a request re-submitting the same case object-identity
+    aside) share one entry.  The digest is memoised on the bundle — but
+    tagged with the bundle's own ``id``, because ``copy``/``deepcopy``
+    duplicate ``__dict__`` and a copied-then-mutated case must not
+    inherit the original's identity — so steady-state lookups stay O(1);
+    mutating a bundle's arrays *in place* after its first preparation
+    remains undetectable, exactly as it was under id keying (cached
+    tensors are read-only views of the *prepared* data).
     """
     directory = getattr(case, "directory", None)
     if directory is not None:
         return ("dir", directory)
-    return ("id", id(case))
+    memo = case.__dict__.get("_prep_cache_key")
+    if memo is not None and memo[0] == id(case):
+        return memo[1]
+    key = ("content", case.name, case.kind, _content_digest(case))
+    case.__dict__["_prep_cache_key"] = (id(case), key)
+    return key
 
 
 class PreparedCaseCache:
@@ -120,9 +162,9 @@ class PreparedCaseCache:
         self.hits = 0
         self.misses = 0
         self._owner: Optional["CasePreprocessor"] = None
-        # key -> (case, prepared); the case reference pins id()-keyed cases
-        self._entries: "OrderedDict[tuple, Tuple[CaseBundle, PreparedCase]]" = \
-            OrderedDict()
+        # key -> prepared; keys are directory or content identities, so no
+        # object pinning is needed (see _case_cache_key)
+        self._entries: "OrderedDict[tuple, PreparedCase]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -146,13 +188,13 @@ class PreparedCaseCache:
             return None
         self.hits += 1
         self._entries.move_to_end(key)
-        return entry[1]
+        return entry
 
     def put(self, case: CaseBundle, prepared: PreparedCase) -> PreparedCase:
         for array in (prepared.features, prepared.points,
                       prepared.target, prepared.mask):
             array.setflags(write=False)
-        self._entries[_case_cache_key(case)] = (case, prepared)
+        self._entries[_case_cache_key(case)] = prepared
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return prepared

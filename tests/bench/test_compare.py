@@ -207,6 +207,33 @@ class TestResultComparator:
         assert comparison.ok
         assert comparison.counts() == {SKIPPED: 2}
 
+    def test_partial_run_skips_absent_metrics_and_checks(self):
+        # `run --only NAME` is partial by construction: stale sibling
+        # artifacts legitimately lack the metrics their unrun entries
+        # would record, so absence skips instead of failing
+        reference = _reference(factor_once_speedup={"floor": 3.0})
+        report = _report()   # no perf metrics reported
+        report.partial = True
+        report.results["solver_scaling"].checks.clear()
+        comparison = ResultComparator(reference).compare(report)
+        assert comparison.ok
+        assert comparison.counts() == {SKIPPED: 2}
+
+    def test_partial_run_still_fails_on_violation(self):
+        reference = _reference(factor_once_speedup={"floor": 3.0})
+        report = _report(factor_once_speedup=2.0)
+        report.partial = True
+        comparison = ResultComparator(reference).compare(report)
+        assert not comparison.ok
+
+    def test_partial_flag_roundtrips_through_serialization(self):
+        report = _report()
+        report.partial = True
+        again = BenchSuiteReport.from_dict(report.to_dict())
+        assert again.partial is True
+        assert BenchSuiteReport.from_dict(
+            _report().to_dict()).partial is False
+
     def test_tiered_run_still_fails_on_violation(self):
         reference = _reference(factor_once_speedup={"floor": 3.0})
         report = _report(factor_once_speedup=2.0)

@@ -36,7 +36,7 @@ class TestDefaultEntries:
         gating = [e for e in DEFAULT_ENTRIES if e.tier == "gating"]
         # the blocking CI tier is the numeric parity gates only
         assert _names(gating) == ["table1.parity", "solver.parity",
-                                  "inference.parity"]
+                                  "inference.parity", "serving.parity"]
         assert all(e.kind == "parity" for e in gating)
 
     def test_bad_tier_rejected(self):
@@ -73,6 +73,12 @@ class TestSelectEntries:
         ordered = _names(select_entries(DEFAULT_ENTRIES,
                                         only=["solver_scaling"]))
         assert ordered == ["solver.parity", "solver.perf"]
+
+    def test_only_accepts_script_names(self):
+        expected = ["inference.parity", "serving.parity", "serving.perf"]
+        for alias in ("bench_serving", "bench_serving.py"):
+            ordered = _names(select_entries(DEFAULT_ENTRIES, only=[alias]))
+            assert ordered == expected, alias
 
     def test_tier_applied_after_dependency_closure(self):
         ordered = _names(select_entries(DEFAULT_ENTRIES, tier="perf",

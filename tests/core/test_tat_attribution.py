@@ -1,0 +1,111 @@
+"""Per-case TAT attribution in grouped forwards (PR 7 satellite fix).
+
+Before the fix, ``predict_many`` split a group's shared forward time
+*evenly* across its members, so a case batched with differently-sized
+companions booked a fabricated TAT, and floating-point rounding meant
+the per-case shares did not even sum back to the group's wall-clock.
+The fix attributes proportionally to per-case work
+(:func:`split_forward_time`) with an exact-sum correction, and exposes
+the raw group-level timings (:attr:`IRPredictor.last_forward_groups`) so
+group TAT can always be reported explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LMMIR, LMMIRConfig
+from repro.core.pipeline import ForwardGroupStats, IRPredictor, split_forward_time
+from repro.data.synthesis import synthesize_case
+from repro.train.loader import CasePreprocessor
+from repro.train.seed import seed_everything
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return [synthesize_case("fake", seed=s) for s in (600, 601, 602, 603, 604)]
+
+
+@pytest.fixture(scope="module")
+def predictor(cases):
+    pre = CasePreprocessor(target_edge=16, num_points=32)
+    pre.fit(cases)
+    seed_everything(0)
+    model = LMMIR(LMMIRConfig(in_channels=6, base_channels=4, depth=2,
+                              encoder_kernel=3, netlist_dim=8,
+                              netlist_depth=1, netlist_heads=2,
+                              fusion_heads=2))
+    model.eval()
+    return IRPredictor(model, pre, tta_samples=1, batched=True, group_size=3)
+
+
+class TestSplitForwardTime:
+    def test_proportional_to_work(self):
+        shares = split_forward_time(1.0, [3.0, 1.0])
+        assert shares[0] == pytest.approx(0.75)
+        assert shares[1] == pytest.approx(0.25)
+
+    def test_large_case_never_books_small_case_share(self):
+        """The regression the fix targets: a 9x-work case batched with a
+        1x-work case must carry ~90% of the shared forward, not 50%."""
+        big, small = split_forward_time(2.0, [9.0, 1.0])
+        assert big > 8 * small
+        assert big + small == 2.0
+
+    def test_sum_is_exact_not_approximate(self):
+        """Shares sum bit-exactly to the total — the even split of the
+        pre-fix code leaked rounding error for most (total, n) pairs."""
+        total = 0.1  # not representable: 0.1/3 * 3 != 0.1 in float64
+        for works in ([1.0, 1.0, 1.0], [0.3, 0.7, 1.1], [5.0] * 7):
+            assert sum(split_forward_time(total, works)) == total
+
+    def test_zero_work_falls_back_to_even(self):
+        assert split_forward_time(0.9, [0.0, 0.0, 0.0]) == pytest.approx(
+            [0.3, 0.3, 0.3])
+
+    def test_empty_group_refused(self):
+        with pytest.raises(ValueError):
+            split_forward_time(1.0, [])
+
+    def test_zero_duration_ok(self):
+        assert split_forward_time(0.0, [2.0, 1.0]) == [0.0, 0.0]
+
+
+class TestGroupedTATAccounting:
+    def test_group_stats_partition_the_batch(self, predictor, cases):
+        predictor.predict_many(cases)
+        groups = predictor.last_forward_groups
+        assert groups, "batched predict_many must record its groups"
+        seen = [i for group in groups for i in group.indices]
+        assert sorted(seen) == list(range(len(cases)))
+        for group in groups:
+            assert isinstance(group, ForwardGroupStats)
+            assert group.seconds > 0
+            assert len(group.work_units) == len(group.indices)
+            assert len(group.indices) <= predictor.group_size
+
+    def test_per_case_shares_sum_to_group_wall_clock(self, predictor,
+                                                     cases):
+        results = predictor.predict_many(cases)
+        assert all(tat > 0 for _, tat in results)
+        # reconstruct each group's forward share from the recorded
+        # work units: the proportional split must be exact in the sum
+        for group in predictor.last_forward_groups:
+            shares = split_forward_time(group.seconds,
+                                        list(group.work_units))
+            assert sum(shares) == group.seconds
+
+    def test_stats_reset_between_calls(self, predictor, cases):
+        predictor.predict_many(cases[:2])
+        first = list(predictor.last_forward_groups)
+        predictor.predict_many(cases[:1])
+        second = predictor.last_forward_groups
+        assert first and second
+        assert len(second) == 1
+        assert second[0].indices == (0,)
+
+    def test_sequential_path_records_no_groups(self, predictor, cases):
+        predictor.predict_case(cases[0])
+        sequential = IRPredictor(predictor.model, predictor.preprocessor,
+                                 tta_samples=1, batched=False)
+        sequential.predict_many(cases[:2])
+        assert sequential.last_forward_groups == []

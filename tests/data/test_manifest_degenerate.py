@@ -1,0 +1,136 @@
+"""Degenerate shard layouts round-trip cleanly (PR 7 satellite fix).
+
+A sharded build with more shards than cases leaves 0-case shard
+manifests on disk, and single-machine runs often produce exactly one
+shard of N.  Before the hardening these layouts fell over at the edges:
+``resolve_suite`` on a shard-only directory died with a raw missing-
+``manifest.json`` ``FileNotFoundError``, and the 0-case/1-shard merge
+guarantees were unstated.  These tests pin the contracts end to end
+against a real streamed build.
+"""
+
+import os
+
+import pytest
+
+from repro.data.dataset import ShardedSuiteDataset
+from repro.data.io import (
+    discover_manifests,
+    manifest_filename,
+    merge_manifests,
+    read_manifest,
+    write_manifest,
+)
+from repro.data.synthesis import SynthesisSettings, stream_suite
+from repro.eval.harness import resolve_suite
+
+SUITE = dict(num_fake=1, num_real=1, num_hidden=1, seed=11)
+SHARDS = 4  # > total cases (3): the last shard is guaranteed empty
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return SynthesisSettings(edge_um_range=(24.0, 26.0))
+
+
+@pytest.fixture(scope="module")
+def sharded_build(tmp_path_factory, settings):
+    """One directory holding every shard manifest of a 4-shard build of
+    a 3-case suite, plus the serial reference build."""
+    root = tmp_path_factory.mktemp("degenerate")
+    serial = stream_suite(str(root / "serial"), settings=settings,
+                          workers=1, **SUITE)
+    shard_dir = root / "shards"
+    shards = [stream_suite(str(shard_dir), settings=settings, workers=1,
+                           shard=(index, SHARDS), **SUITE)
+              for index in range(SHARDS)]
+    return root, serial, shard_dir, shards
+
+
+class TestZeroCaseShard:
+    def test_empty_shard_written_and_read_back(self, sharded_build):
+        root, _, shard_dir, shards = sharded_build
+        assert [len(shard.refs) for shard in shards] == [1, 1, 1, 0]
+        path = shard_dir / manifest_filename(shard=(SHARDS - 1, SHARDS))
+        assert path.exists()
+        empty = read_manifest(str(path))
+        assert empty.refs == []
+        assert empty.shard == (SHARDS - 1, SHARDS)
+        assert empty.suite == shards[0].suite
+        assert not empty.complete
+
+    def test_empty_shard_reroundtrips_through_write(self, sharded_build,
+                                                    tmp_path):
+        _, _, shard_dir, shards = sharded_build
+        out = tmp_path / "copy.json"
+        write_manifest(shards[-1], str(out))
+        again = read_manifest(str(out))
+        assert again.refs == []
+        assert again.suite == shards[-1].suite
+        assert again.shard == shards[-1].shard
+
+    def test_merge_with_empty_head_matches_serial(self, sharded_build,
+                                                  tmp_path):
+        """The empty shard carries provenance even as the *first* member
+        of the merge — the order the hardening explicitly guarantees."""
+        _, serial, _, shards = sharded_build
+        reordered = [shards[-1]] + shards[:-1]
+        merged = merge_manifests(reordered,
+                                 out_path=str(tmp_path / "m.json"))
+        assert [(r.index, r.name, r.kind) for r in merged.refs] == \
+               [(r.index, r.name, r.kind) for r in serial.refs]
+        assert merged.complete
+        dataset = ShardedSuiteDataset(str(tmp_path / "m.json"))
+        assert len(list(dataset.hidden_cases)) == SUITE["num_hidden"]
+
+
+class TestSingleShardMerge:
+    def test_one_shard_of_n_is_identity(self, sharded_build):
+        _, _, _, shards = sharded_build
+        merged = merge_manifests([shards[0]])
+        assert [(r.index, r.name, r.kind, r.path) for r in merged.refs] \
+            == [(r.index, r.name, r.kind, r.path) for r in shards[0].refs]
+        assert merged.suite == shards[0].suite
+        assert merged.shard is None  # the merge result is unsharded
+
+    def test_already_merged_manifest_is_identity(self, sharded_build):
+        _, serial, _, _ = sharded_build
+        merged = merge_manifests([serial])
+        assert [(r.index, r.path) for r in merged.refs] == \
+               [(r.index, r.path) for r in serial.refs]
+
+    def test_zero_manifests_refused(self):
+        with pytest.raises(ValueError, match="zero manifests"):
+            merge_manifests([])
+
+
+class TestShardDirectoryIngestion:
+    def test_discover_prefers_merged_manifest(self, sharded_build):
+        root, _, _, _ = sharded_build
+        serial_dir = str(root / "serial")
+        assert discover_manifests(serial_dir) == [
+            os.path.join(serial_dir, manifest_filename())]
+
+    def test_discover_returns_shards_in_order(self, sharded_build):
+        _, _, shard_dir, _ = sharded_build
+        found = discover_manifests(str(shard_dir))
+        assert [os.path.basename(path) for path in found] == [
+            manifest_filename(shard=(index, SHARDS))
+            for index in range(SHARDS)]
+
+    def test_discover_empty_directory_is_informative(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            discover_manifests(str(tmp_path))
+        message = str(excinfo.value)
+        assert "manifest.json" in message
+        assert "manifest-shard" in message
+
+    def test_resolve_suite_on_shard_only_directory(self, sharded_build):
+        """The regression: this used to raise a raw FileNotFoundError
+        for ``<dir>/manifest.json`` instead of ingesting the shards."""
+        _, serial, shard_dir, _ = sharded_build
+        suite = resolve_suite(str(shard_dir))
+        assert len(list(suite.hidden_cases)) == SUITE["num_hidden"]
+        assert (sorted(case.name for case in suite.training_cases)
+                == sorted(ref.name for ref in serial.refs
+                          if ref.kind in ("fake", "real")))

@@ -1,0 +1,68 @@
+"""Open-loop load-generator contracts: input validation, conservation of
+requests (offered == accepted + rejected, accepted == served + failed),
+and the metric summary the serving benchmark records."""
+
+import numpy as np
+import pytest
+
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import LoadReport, open_loop_load
+from repro.serve.service import PredictionService
+
+
+class TestValidation:
+    def test_bad_rate(self, serve_spec, serve_cases):
+        service = PredictionService(serve_spec)
+        with pytest.raises(ValueError):
+            open_loop_load(service, serve_cases, rate_hz=0.0, total=1)
+
+    def test_bad_total(self, serve_spec, serve_cases):
+        service = PredictionService(serve_spec)
+        with pytest.raises(ValueError):
+            open_loop_load(service, serve_cases, rate_hz=1.0, total=0)
+
+    def test_no_cases(self, serve_spec):
+        service = PredictionService(serve_spec)
+        with pytest.raises(ValueError):
+            open_loop_load(service, [], rate_hz=1.0, total=1)
+
+
+def test_open_loop_serves_and_summarises(serve_spec, serve_cases):
+    config = ServeConfig(workers=1, worker_kind="thread",
+                         queue_capacity=64, max_batch=4,
+                         batch_window_s=0.002)
+    total = 12
+    with PredictionService(serve_spec, config) as service:
+        report = open_loop_load(service, serve_cases, rate_hz=200.0,
+                                total=total)
+    assert report.offered == total
+    assert report.accepted + report.rejected == report.offered
+    assert report.served + report.failed == report.accepted
+    assert report.failed == 0
+    assert report.duration_s > 0
+    assert report.throughput > 0
+
+    summary = report.summary()
+    for key in ("offered", "accepted", "rejected", "served",
+                "throughput_cases_per_s", "latency_p50_s", "latency_p99_s",
+                "tat_p50_s", "tat_p99_s", "batch_size_mean"):
+        assert key in summary, key
+    assert summary["latency_p99_s"] >= summary["latency_p50_s"]
+
+    # round-robin: every case was served, and bit-identically to direct
+    direct = serve_spec.build()
+    references = {case.name: direct.predict_case(case)[0]
+                  for case in serve_cases}
+    served_names = set()
+    for case, result in report.results:
+        served_names.add(case.name)
+        assert np.array_equal(result.prediction, references[case.name])
+    assert served_names == {case.name for case in serve_cases}
+
+
+def test_empty_report_summary_has_no_percentiles():
+    report = LoadReport()
+    summary = report.summary()
+    assert summary["served"] == 0.0
+    assert "latency_p50_s" not in summary
+    assert report.throughput == 0.0

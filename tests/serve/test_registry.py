@@ -1,0 +1,96 @@
+"""Checkpoint-registry contracts: bit-exact round-trips, active-pointer
+semantics, and refusal of corrupt entries (the FactorizationStore
+discipline applied to model weights)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve.queue import ServeError
+from repro.serve.registry import SERVE_CHECKPOINT_FORMAT, ModelRegistry
+from tests.serve.conftest import tiny_model
+
+
+def test_publish_load_roundtrip_bit_exact(tmp_path):
+    registry = ModelRegistry(str(tmp_path / "reg"))
+    model = tiny_model(seed=1)
+    identity = registry.publish("baseline", model)
+    assert identity["format"] == SERVE_CHECKPOINT_FORMAT
+    loaded = registry.load_state("baseline")
+    state = model.state_dict()
+    assert sorted(loaded) == sorted(state)
+    for key in state:
+        assert np.array_equal(loaded[key], state[key]), key
+        assert loaded[key].dtype == state[key].dtype, key
+
+
+def test_first_publish_becomes_active_later_needs_activate(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    registry.publish("v1", tiny_model(seed=1))
+    assert registry.active == "v1"
+    registry.publish("v2", tiny_model(seed=2))
+    assert registry.active == "v1"  # not silently repointed
+    registry.activate("v2")
+    assert registry.active == "v2"
+    assert registry.names() == ["v1", "v2"]
+    registry.publish("v3", tiny_model(seed=3), activate=True)
+    assert registry.active == "v3"
+
+
+def test_unknown_names_raise_keyerror_listing_known(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    registry.publish("only", tiny_model(seed=1))
+    with pytest.raises(KeyError, match="only"):
+        registry.load_state("nope")
+    with pytest.raises(KeyError):
+        registry.activate("nope")
+
+
+def test_empty_checkpoint_refused(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    with pytest.raises(ServeError, match="empty"):
+        registry.publish("hollow", {})
+
+
+def test_corrupt_payload_refused_not_served(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    identity = registry.publish("good", tiny_model(seed=1))
+    entry_dir = registry._store.entry_dir(identity)
+    payload = os.path.join(entry_dir, "payload.npz")
+    with open(payload, "r+b") as handle:  # truncate mid-archive
+        handle.truncate(os.path.getsize(payload) // 2)
+    with pytest.raises(ServeError, match="corrupt"):
+        registry.load_state("good")
+
+
+def test_republish_repairs_corrupt_entry(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    model = tiny_model(seed=1)
+    identity = registry.publish("good", model)
+    payload = os.path.join(registry._store.entry_dir(identity),
+                           "payload.npz")
+    with open(payload, "wb") as handle:
+        handle.write(b"garbage")
+    registry.publish("good", model)
+    loaded = registry.load_state("good")
+    assert np.array_equal(loaded[sorted(loaded)[0]],
+                          model.state_dict()[sorted(loaded)[0]])
+
+
+def test_foreign_index_refused(tmp_path):
+    with open(tmp_path / "registry.json", "w") as handle:
+        json.dump({"format": "something-else", "models": {}}, handle)
+    registry = ModelRegistry(str(tmp_path))
+    with pytest.raises(ServeError, match="not a serve registry"):
+        registry.names()
+
+
+def test_content_addressing_distinguishes_weights(tmp_path):
+    registry = ModelRegistry(str(tmp_path))
+    first = registry.publish("a", tiny_model(seed=1))
+    second = registry.publish("b", tiny_model(seed=2))
+    same = registry.publish("c", tiny_model(seed=1))
+    assert first["digest"] != second["digest"]
+    assert first["digest"] == same["digest"]  # content-addressed

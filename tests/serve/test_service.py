@@ -1,0 +1,174 @@
+"""End-to-end contracts of :class:`PredictionService` (thread workers).
+
+The acceptance criteria pinned here, all deterministic:
+
+* **parity** — served predictions are bit-identical (float64) to direct
+  ``IRPredictor.predict_case`` on the same weights;
+* **micro-batching** — requests queued together coalesce into one
+  forward (pre-filling the queue before ``start()`` makes the batch
+  composition deterministic);
+* **backpressure** — submits over the queue bound fail with the
+  documented :class:`BackpressureError` and the accepted requests are
+  unaffected;
+* **hot-swap** — a swap under load drops nothing: every in-flight
+  request completes, and every result matches the reference prediction
+  of the model version that served it.
+"""
+
+import numpy as np
+import pytest
+from tests.serve.conftest import perturbed_state
+
+from repro.serve.config import ServeConfig
+from repro.serve.queue import (
+    BackpressureError,
+    PredictionFailedError,
+    ServiceClosedError,
+)
+from repro.serve.service import PredictionService
+
+
+def _config(**overrides):
+    base = dict(workers=1, worker_kind="thread", queue_capacity=16,
+                max_batch=4, batch_window_s=0.01)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestParityAndBatching:
+    def test_served_bit_identical_to_direct(self, serve_spec, serve_cases):
+        with PredictionService(serve_spec, _config()) as service:
+            results = [service.predict(case, timeout=60)
+                       for case in serve_cases]
+        direct = serve_spec.build()
+        for case, result in zip(serve_cases, results):
+            reference, _ = direct.predict_case(case)
+            assert np.array_equal(result.prediction, reference)
+            assert result.tat_seconds > 0
+            assert result.latency_seconds >= result.queue_seconds
+
+    def test_queued_requests_coalesce_into_one_forward(self, serve_spec,
+                                                       serve_cases):
+        service = PredictionService(serve_spec, _config(max_batch=4))
+        tickets = [service.submit(case) for case in serve_cases]
+        with service:  # all four were queued before the scheduler ran
+            results = [ticket.result(timeout=60) for ticket in tickets]
+        assert [result.batch_size for result in results] == [4, 4, 4, 4]
+        direct = serve_spec.build()
+        for case, result in zip(serve_cases, results):
+            assert np.array_equal(result.prediction,
+                                  direct.predict_case(case)[0])
+
+    def test_max_batch_caps_coalescing(self, serve_spec, serve_cases):
+        service = PredictionService(serve_spec, _config(max_batch=3))
+        tickets = [service.submit(case) for case in serve_cases]
+        with service:
+            sizes = [ticket.result(timeout=60).batch_size
+                     for ticket in tickets]
+        assert sizes == [3, 3, 3, 1]
+
+
+class TestBackpressure:
+    def test_over_budget_submit_rejected_with_reason(self, serve_spec,
+                                                     serve_cases):
+        service = PredictionService(serve_spec, _config(queue_capacity=2))
+        accepted = [service.submit(serve_cases[0]),
+                    service.submit(serve_cases[1])]
+        with pytest.raises(BackpressureError) as excinfo:
+            service.submit(serve_cases[2])
+        assert excinfo.value.capacity == 2
+        assert "queue at capacity" in str(excinfo.value)
+        # the rejected request did not poison the accepted ones
+        with service:
+            results = [ticket.result(timeout=60) for ticket in accepted]
+        assert len(results) == 2
+        assert service.stats()["rejected"] == 1
+
+    def test_submit_after_stop_refused(self, serve_spec, serve_cases):
+        service = PredictionService(serve_spec, _config())
+        with service:
+            service.predict(serve_cases[0], timeout=60)
+        with pytest.raises(ServiceClosedError):
+            service.submit(serve_cases[0])
+
+    def test_stop_without_start_fails_tickets_loudly(self, serve_spec,
+                                                     serve_cases):
+        service = PredictionService(serve_spec, _config())
+        ticket = service.submit(serve_cases[0])
+        service.stop()
+        with pytest.raises(ServiceClosedError):
+            ticket.result(timeout=1)
+
+
+class TestHotSwap:
+    def test_swap_changes_predictions_and_matches_reference(
+            self, serve_spec, serve_cases):
+        state_v2 = perturbed_state(serve_spec.model)
+        with PredictionService(serve_spec, _config()) as service:
+            before = service.predict(serve_cases[0], timeout=60)
+            service.swap(state_v2)
+            after = service.predict(serve_cases[0], timeout=60)
+        assert after.model_version == before.model_version + 1
+        assert not np.array_equal(before.prediction, after.prediction)
+        reference = serve_spec.build()  # spec model now holds state_v2
+        assert np.array_equal(after.prediction,
+                              reference.predict_case(serve_cases[0])[0])
+
+    def test_swap_under_load_completes_every_in_flight_request(
+            self, serve_spec, serve_cases):
+        """Nothing is dropped by a swap, and every served prediction is
+        consistent with the version that reports having served it."""
+        references = {}  # version -> direct per-case reference maps
+        v1 = serve_spec.build()
+        references[0] = {case.name: v1.predict_case(case)[0]
+                         for case in serve_cases}
+        state_v2 = perturbed_state(serve_spec.model)
+
+        config = _config(queue_capacity=64, max_batch=2,
+                         batch_window_s=0.0)
+        with PredictionService(serve_spec, config) as service:
+            tickets = []
+            for round_index in range(4):
+                for case in serve_cases:
+                    tickets.append((case, service.submit(case)))
+                if round_index == 1:
+                    service.swap(state_v2)  # mid-stream, under load
+            results = [(case, ticket.result(timeout=60))
+                       for case, ticket in tickets]
+
+        v2 = serve_spec.build()
+        references[1] = {case.name: v2.predict_case(case)[0]
+                         for case in serve_cases}
+        versions = {result.model_version for _, result in results}
+        assert versions <= {0, 1}
+        assert 1 in versions  # the post-swap rounds ran on the new model
+        for case, result in results:
+            assert np.array_equal(
+                result.prediction,
+                references[result.model_version][case.name]), case.name
+
+
+class TestFailuresAndStats:
+    def test_worker_exception_fails_only_that_request(self, serve_spec,
+                                                      serve_cases):
+        class NotACase:
+            name = "broken"
+
+        with PredictionService(serve_spec, _config()) as service:
+            bad = service.submit(NotACase())
+            good = service.submit(serve_cases[0])
+            with pytest.raises(PredictionFailedError):
+                bad.result(timeout=60)
+            assert good.result(timeout=60).tat_seconds > 0
+
+    def test_stats_report(self, serve_spec, serve_cases):
+        with PredictionService(serve_spec, _config()) as service:
+            for case in serve_cases:
+                service.predict(case, timeout=60)
+            stats = service.stats()
+        assert stats["served"] == len(serve_cases)
+        assert stats["rejected"] == 0
+        assert stats["workers"] == 1
+        assert stats["latency"]["count"] == len(serve_cases)
+        for key in ("p50", "p90", "p99", "mean", "max"):
+            assert stats["tat"][key] > 0

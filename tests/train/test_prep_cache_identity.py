@@ -1,0 +1,122 @@
+"""PreparedCaseCache content-identity keying (PR 7 satellite fix).
+
+Before the fix, in-memory bundles were keyed by ``id(case)`` with the
+bundle pinned in the entry to keep the id stable.  Two consequences,
+both fixed by keying on content identity (name + kind + payload
+digest):
+
+* two equal-content bundles (e.g. the same case deserialised twice by
+  two loaders) could never share an entry — every distinct object was a
+  guaranteed miss;
+* correctness leaned on the pin: without it, a freed id could be reused
+  by a *different* same-named case and serve stale tensors.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis import synthesize_case
+from repro.train.loader import CasePreprocessor, PreparedCaseCache
+
+
+@pytest.fixture()
+def preprocessor_and_cases():
+    cases = [synthesize_case("fake", seed=s) for s in (800, 801)]
+    pre = CasePreprocessor(target_edge=16, num_points=32)
+    pre.fit(cases)
+    return pre, cases
+
+
+def test_equal_content_bundles_share_one_entry(preprocessor_and_cases):
+    """Fails on the pre-fix id-keyed cache: a deep copy is a different
+    object, so the second prepare was always a miss."""
+    pre, cases = preprocessor_and_cases
+    cache = PreparedCaseCache(maxsize=4)
+    original = cases[0]
+    duplicate = copy.deepcopy(original)
+    assert duplicate is not original
+
+    first = pre.prepare(original, cache=cache)
+    second = pre.prepare(duplicate, cache=cache)
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+    assert second is first  # one shared entry, not two equal ones
+
+
+def test_same_name_different_content_never_stale_hits(
+        preprocessor_and_cases):
+    """A same-named bundle with different payload must get freshly
+    prepared tensors, not the cached ones."""
+    pre, cases = preprocessor_and_cases
+    cache = PreparedCaseCache(maxsize=4)
+    original = cases[0]
+    cached = pre.prepare(original, cache=cache)
+
+    mutated = copy.deepcopy(original)
+    assert mutated.name == original.name
+    mutated.ir_map = mutated.ir_map * 2.0 + 0.01
+
+    fresh = pre.prepare(mutated, cache=cache)
+    assert fresh is not cached
+    assert not np.array_equal(fresh.target, cached.target)
+    assert cache.hits == 0
+    assert len(cache) == 2  # both identities live side by side
+
+
+def test_memoized_key_survives_repeat_lookups(preprocessor_and_cases):
+    """The content digest is computed once per bundle (memoized on the
+    object), so steady-state serving lookups stay cheap and hit."""
+    pre, cases = preprocessor_and_cases
+    cache = PreparedCaseCache(maxsize=4)
+    case = cases[0]
+    pre.prepare(case, cache=cache)
+    memo_after_first = case.__dict__.get("_prep_cache_key")
+    assert memo_after_first is not None
+    for _ in range(3):
+        pre.prepare(case, cache=cache)
+    assert case.__dict__["_prep_cache_key"] is memo_after_first
+    assert cache.hits == 3
+    assert cache.misses == 1
+
+
+def test_copied_memo_is_not_trusted(preprocessor_and_cases):
+    """``deepcopy`` duplicates ``__dict__`` including the memoised key;
+    a copied-then-mutated bundle must recompute its identity rather than
+    inherit the original's (the memo is id-tagged for exactly this)."""
+    pre, cases = preprocessor_and_cases
+    cache = PreparedCaseCache(maxsize=4)
+    original = cases[0]
+    cached = pre.prepare(original, cache=cache)  # memoises on original
+
+    mutated = copy.deepcopy(original)            # memo rides along
+    assert "_prep_cache_key" in mutated.__dict__
+    mutated.ir_map = mutated.ir_map * 3.0 + 0.05
+    fresh = pre.prepare(mutated, cache=cache)
+    assert fresh is not cached
+    assert not np.array_equal(fresh.target, cached.target)
+    assert cache.hits == 0
+
+
+def test_eviction_does_not_pin_bundles(preprocessor_and_cases):
+    """Content keys need no object pinning: filling the cache past its
+    bound evicts LRU entries and re-prepares them on return."""
+    pre, cases = preprocessor_and_cases
+    cache = PreparedCaseCache(maxsize=1)
+    pre.prepare(cases[0], cache=cache)
+    pre.prepare(cases[1], cache=cache)   # evicts cases[0]
+    assert len(cache) == 1
+    pre.prepare(cases[0], cache=cache)   # miss again, re-prepared
+    assert cache.misses == 3
+    assert cache.hits == 0
+
+
+def test_distinct_seeds_distinct_entries(preprocessor_and_cases):
+    pre, cases = preprocessor_and_cases
+    cache = PreparedCaseCache(maxsize=4)
+    a = pre.prepare(cases[0], cache=cache)
+    b = pre.prepare(cases[1], cache=cache)
+    assert a is not b
+    assert len(cache) == 2
