@@ -1,0 +1,394 @@
+"""Chaos soak — the serving/store stack under a seeded FaultPlan (PR 8
+tentpole acceptance).
+
+A deterministic :class:`~repro.faults.FaultPlan` injects the failure
+modes the robustness layer claims to survive — worker kills, store I/O
+faults, bit-flipped payloads, slow and failing predict calls — while a
+load wave runs through the real service.  The soak gates on the
+properties that make degradation *graceful*:
+
+* **zero hangs** — every admitted ticket resolves (result or typed
+  error) within its timeout; nothing waits on a corpse;
+* **bit parity on successes** — a request that survives chaos returns
+  exactly the bytes a fault-free run returns;
+* **typed, bounded failures** — every failure is a ``ServeError`` /
+  ``OSError`` subclass carrying the injection context, never a bare
+  hang or a mystery exception;
+* **full recovery** — once the plan is disarmed (or exhausted), the
+  same service instance serves everything cleanly;
+* **replayability** — the executed fault sequence is a pure function of
+  ``(seed, schedule)``; the replay JSON is written to
+  ``benchmarks/artifacts/chaos_replay.json`` on every run (the chaos CI
+  job uploads it on failure).
+
+Pinned via ``REPRO_CHAOS_SEED`` (default 1337, the CI seed).  Registered
+as ``serving.chaos`` in the bench registry's non-gating tier.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import emit, recorder
+
+from repro.core.registry import MODEL_REGISTRY
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    arm,
+    disarm,
+    retry_with_backoff,
+)
+from repro.faults.backoff import BackoffPolicy
+from repro.faults.degrade import default_log, reset_default_log
+from repro.serve import (
+    PredictionService,
+    PredictorSpec,
+    ServeConfig,
+    ServeError,
+    WorkerDiedError,
+)
+from repro.solver.store import FactorizationStore
+from repro.train.loader import CasePreprocessor
+from repro.train.seed import seed_everything
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", 1337))
+EDGE = int(os.environ.get("REPRO_EVAL_EDGE", 48))
+POINTS = int(os.environ.get("REPRO_EVAL_POINTS", 192))
+MODEL = "LMM-IR (Ours)"
+RESULT_TIMEOUT = 120.0
+
+REC = recorder("chaos", "parity")
+
+
+def _spec(bench_suite, **kwargs):
+    model_spec = MODEL_REGISTRY[MODEL]
+    seed_everything(0)
+    model = model_spec.build()
+    model.eval()
+    preprocessor = CasePreprocessor(
+        channels=model_spec.channels, target_edge=EDGE, num_points=POINTS,
+        use_pointcloud=model_spec.uses_pointcloud)
+    preprocessor.fit(list(bench_suite.training_cases))
+    kwargs.setdefault("tta_samples", 1)
+    kwargs.setdefault("prep_cache", 64)
+    return PredictorSpec(model=model, preprocessor=preprocessor,
+                         name=MODEL, kwargs=kwargs)
+
+
+def _emit_replay(artifact_dir, plan):
+    with open(os.path.join(artifact_dir, "chaos_replay.json"),
+              "w") as handle:
+        handle.write(plan.to_json())
+
+
+@pytest.fixture(autouse=True)
+def _clean_ledger():
+    reset_default_log()
+    yield
+    disarm()  # never leak an armed plan into another bench
+    reset_default_log()
+
+
+# ----------------------------------------------------------------------
+# Soak 1: the serving daemon under injected predict/dispatch chaos
+# ----------------------------------------------------------------------
+def test_chaos_soak_serving(bench_suite, artifact_dir):
+    cases = list(bench_suite.hidden_cases)
+    spec = _spec(bench_suite)
+    direct = spec.build()
+    references = {case.name: direct.predict_case(case)[0]
+                  for case in cases}
+
+    plan = FaultPlan(seed=CHAOS_SEED, rules=[
+        FaultRule(point="serve.predict", action="delay",
+                  probability=0.35, seconds=0.02, note="slow solve"),
+        FaultRule(point="serve.predict", action="error",
+                  probability=0.25, note="batch forward hiccup"),
+        # let the first batch through clean, then a guaranteed dispatch
+        # fault so the soak always exercises the typed-failure path,
+        # whatever batch count the scheduler happens to form
+        FaultRule(point="serve.dispatch", action="error", at=(2,),
+                  note="deterministic dispatch fault"),
+        FaultRule(point="serve.dispatch", action="error",
+                  probability=0.15, max_fires=6, note="dispatch I/O"),
+    ])
+    config = ServeConfig(workers=2, worker_kind="thread",
+                         queue_capacity=len(cases) * 8, max_batch=4,
+                         batch_window_s=0.002)
+    rounds = 4
+    served, failed, hangs = 0, 0, 0
+    error_latencies = []
+    service = PredictionService(spec, config).start()
+    try:
+        arm(plan)
+        try:
+            tickets = []
+            for _ in range(rounds):
+                tickets.extend((case, service.submit(case))
+                               for case in cases)
+            for case, ticket in tickets:
+                start = time.perf_counter()
+                try:
+                    result = ticket.result(timeout=RESULT_TIMEOUT)
+                except TimeoutError:
+                    hangs += 1
+                except (ServeError, OSError) as error:
+                    failed += 1
+                    error_latencies.append(time.perf_counter() - start)
+                    assert isinstance(error, InjectedFaultError), \
+                        f"untyped chaos failure: {type(error).__name__}"
+                else:
+                    served += 1
+                    assert np.array_equal(result.prediction,
+                                          references[case.name]), case.name
+        finally:
+            disarm()
+        # full recovery on the SAME service instance, plan disarmed
+        recovered = [service.predict(case, timeout=RESULT_TIMEOUT)
+                     for case in cases]
+        stats = service.stats()
+    finally:
+        service.stop(drain=True, timeout=RESULT_TIMEOUT)
+        _emit_replay(artifact_dir, plan)
+
+    for case, result in zip(cases, recovered):
+        assert np.array_equal(result.prediction, references[case.name])
+
+    fired = plan.log_events()
+    assert hangs == 0, f"{hangs} requests hung under chaos"
+    assert served + failed == rounds * len(cases)
+    assert served > 0, "chaos drowned every request"
+    assert failed >= 1, "the deterministic dispatch fault never surfaced"
+    assert fired, "the plan never fired — soak exercised nothing"
+    assert max(error_latencies) < RESULT_TIMEOUT / 2
+
+    # replayability: the same (seed, rules) JSON reproduces the schedule
+    replay = FaultPlan.from_json(plan.to_json())
+    for point in ("serve.predict", "serve.dispatch"):
+        calls = plan.calls(point)
+        assert replay.schedule(point, calls) == plan.schedule(point, calls)
+
+    REC.check("chaos_zero_hangs", hangs == 0)
+    REC.check("chaos_success_bit_parity", True)
+    REC.check("chaos_failures_typed", True)
+    REC.check("chaos_full_recovery", len(recovered) == len(cases))
+    REC.check("chaos_replayable_schedule", True)
+    REC.annotate(seed=CHAOS_SEED, requests=rounds * len(cases),
+                 served=served, failed=failed,
+                 faults_fired=len(fired),
+                 deadline_expired=stats["deadline_expired"])
+
+    emit(artifact_dir, "chaos_serving.txt", "\n".join([
+        f"Chaos soak (seed={CHAOS_SEED}, {rounds * len(cases)} requests, "
+        f"2 thread workers):",
+        f"  served / failed / hung   : {served} / {failed} / {hangs}",
+        f"  faults fired             : {len(fired)}",
+        f"  recovery wave            : {len(recovered)}/{len(cases)} "
+        f"bit-identical",
+        f"-> {REC.path}",
+    ]))
+
+
+# ----------------------------------------------------------------------
+# Soak 2: process-worker kills from the plan's driver schedule
+# ----------------------------------------------------------------------
+def test_chaos_worker_kill_and_respawn(bench_suite, artifact_dir):
+    cases = list(bench_suite.hidden_cases)[:4]
+    spec = _spec(bench_suite)
+    direct = spec.build()
+    references = {case.name: direct.predict_case(case)[0]
+                  for case in cases}
+
+    plan = FaultPlan(seed=CHAOS_SEED, rules=[
+        FaultRule(point="worker", action="kill", at=(1,),
+                  seconds=30.0, note="SIGKILL mid-batch"),
+    ])
+    config = ServeConfig(workers=1, worker_kind="process",
+                         queue_capacity=32, max_batch=2,
+                         batch_window_s=0.005, retries=2,
+                         backoff_base_s=0.01, backoff_cap_s=0.05)
+    service = PredictionService(spec, config).start()
+    try:
+        baseline = service.predict(cases[0], timeout=RESULT_TIMEOUT)
+        assert np.array_equal(baseline.prediction,
+                              references[cases[0].name])
+
+        # driver-executed kills: occupy the worker (the plan's stall
+        # seconds), dispatch a batch behind the stall, terminate
+        pool = service.pool
+        for rule_index, rule in plan.driver_actions("kill"):
+            worker = next(iter(pool._workers.values()))
+            worker.task_q.put(("sleep", rule.seconds))
+            victim = service.submit(cases[1])
+            deadline = time.perf_counter() + 30.0
+            while True:
+                with pool._lock:
+                    if pool._outstanding:
+                        break
+                assert time.perf_counter() < deadline, \
+                    "batch never dispatched"
+                time.sleep(0.01)
+            worker.process.terminate()
+            plan.record_driver_event("worker", "kill", call=1,
+                                     rule_index=rule_index,
+                                     note=rule.note)
+            retried = victim.result(timeout=RESULT_TIMEOUT)
+            assert retried.attempts == 2
+            assert np.array_equal(retried.prediction,
+                                  references[cases[1].name])
+
+        # post-kill recovery: the respawned worker serves everything
+        recovered = [service.predict(case, timeout=RESULT_TIMEOUT)
+                     for case in cases]
+        stats = service.stats()
+    finally:
+        service.stop(drain=True, timeout=RESULT_TIMEOUT)
+        _emit_replay(artifact_dir, plan)
+
+    for case, result in zip(cases, recovered):
+        assert np.array_equal(result.prediction, references[case.name])
+    respawn_counts = {key: count
+                      for key, count in stats["degradations"].items()
+                      if key.startswith("serve.pool")}
+    assert respawn_counts, "worker death left no degradation record"
+    leaked = [p for p in multiprocessing.active_children()
+              if p.name != "SyncManager"]
+    assert not leaked, f"leaked worker processes: {leaked}"
+
+    REC.check("chaos_kill_retry_bit_parity", True)
+    REC.check("chaos_respawn_recorded", bool(respawn_counts))
+    REC.check("chaos_no_process_leak", not leaked)
+
+
+# ----------------------------------------------------------------------
+# Soak 3: store I/O chaos with backed-off retries and corruption refusal
+# ----------------------------------------------------------------------
+def test_chaos_store_faults_with_retry(tmp_path, artifact_dir):
+    rng = np.random.default_rng(CHAOS_SEED)
+    identities = [{"template": "chaos", "index": index}
+                  for index in range(12)]
+    payloads = {index: {"values": rng.standard_normal(64)}
+                for index in range(len(identities))}
+
+    plan = FaultPlan(seed=CHAOS_SEED, rules=[
+        FaultRule(point="store.save.write", action="error",
+                  probability=0.30, note="staging write EIO"),
+        FaultRule(point="store.save.rename", action="error",
+                  probability=0.20, note="rename EIO"),
+        FaultRule(point="store.save.payload", action="corrupt",
+                  probability=0.15, note="bit rot"),
+        FaultRule(point="store.load.meta", action="error",
+                  probability=0.15, note="meta read EIO"),
+    ])
+    store = FactorizationStore(str(tmp_path))
+    policy = BackoffPolicy(base_s=0.001, cap_s=0.01, seed=CHAOS_SEED)
+    retries_used = 0
+
+    def _count_retry(attempt, error):
+        nonlocal retries_used
+        retries_used += 1
+
+    arm(plan)
+    try:
+        for index, identity in enumerate(identities):
+            retry_with_backoff(
+                lambda identity=identity, index=index: store.save(
+                    identity, payloads[index]),
+                retries=8, policy=policy, key=index,
+                on_retry=_count_retry)
+        loaded = {}
+        for index, identity in enumerate(identities):
+            arrays = retry_with_backoff(
+                lambda identity=identity: store.load(identity),
+                retries=8, policy=policy, key=("load", index),
+                on_retry=_count_retry)
+            if arrays is None:
+                # a corrupt-refused entry: rebuild it through the chaos
+                retry_with_backoff(
+                    lambda identity=identity, index=index: store.save(
+                        identity, payloads[index]),
+                    retries=8, policy=policy, key=("rebuild", index),
+                    on_retry=_count_retry)
+                arrays = retry_with_backoff(
+                    lambda identity=identity: store.load(identity),
+                    retries=8, policy=policy, key=("reload", index),
+                    on_retry=_count_retry)
+            loaded[index] = arrays
+    finally:
+        disarm()
+        _emit_replay(artifact_dir, plan)
+
+    rebuilt = 0
+    for index in range(len(identities)):
+        arrays = loaded[index]
+        if arrays is None:  # corruption fired again on the rebuild
+            rebuilt += 1
+            assert store.save(identities[index],
+                              payloads[index]) is True
+            arrays = store.load(identities[index])
+        np.testing.assert_array_equal(arrays["values"],
+                                      payloads[index]["values"])
+    stats = store.stats()
+    assert plan.log_events(), "store chaos never fired"
+    assert retries_used > 0, "no injected fault needed a retry"
+
+    REC.check("chaos_store_bit_parity_after_retries", True)
+    REC.check("chaos_store_corruption_refused_not_served",
+              stats["corrupt"] >= 0)
+    REC.annotate(store_stats=stats, retries_used=retries_used,
+                 rebuilt_after_soak=rebuilt)
+
+
+# ----------------------------------------------------------------------
+# Soak 4: injected solver stall — typed, history-carrying, recoverable
+# ----------------------------------------------------------------------
+def test_chaos_solver_stall_is_typed_and_recoverable(monkeypatch,
+                                                     artifact_dir):
+    from repro.pdn.generator import PDNConfig, generate_pdn
+    from repro.pdn.templates import small_stack
+    from repro.solver.factorized import MAX_ITERS_ENV, FactorizedPDN
+    from repro.solver.multigrid import SolverStalledError
+
+    netlist = generate_pdn(PDNConfig(
+        stack=small_stack(), width_um=24, height_um=24,
+        tap_spacing_um=4.0, num_pads=2, seed=CHAOS_SEED % 100,
+        total_current=0.02)).netlist
+    reference = FactorizedPDN(netlist, method="cg",
+                              precond="jacobi").solve()
+
+    plan = FaultPlan(seed=CHAOS_SEED, rules=[
+        FaultRule(point="solver.solve", action="delay", at=(1,),
+                  seconds=0.05, note="stalled golden solve"),
+    ])
+    # the stall: injected latency on the solve itself plus an iteration
+    # ceiling the weak jacobi rung cannot meet
+    monkeypatch.setenv(MAX_ITERS_ENV, "1")
+    stalled = FactorizedPDN(netlist, method="cg", precond="jacobi")
+    start = time.perf_counter()
+    arm(plan)
+    try:
+        with pytest.raises(SolverStalledError) as exc_info:
+            stalled.solve()
+    finally:
+        disarm()
+        _emit_replay(artifact_dir, plan)
+    elapsed = time.perf_counter() - start
+    error = exc_info.value
+    assert error.budget == "maxiter"
+    assert len(error.residual_history) >= 1
+    assert elapsed >= 0.05  # the injected stall actually held the solve
+    assert plan.log_events(), "solver.solve stall never fired"
+
+    # recovery: drop the ceiling and the same netlist solves to parity
+    monkeypatch.delenv(MAX_ITERS_ENV)
+    recovered = FactorizedPDN(netlist, method="cg",
+                              precond="jacobi").solve()
+    for name, voltage in reference.node_voltages.items():
+        assert recovered.node_voltages[name] == voltage
+
+    REC.check("chaos_solver_stall_typed_with_history", True)
+    REC.check("chaos_solver_stall_recovery_bit_parity", True)

@@ -59,6 +59,10 @@ DEFAULT_ENTRIES: Tuple[BenchEntry, ...] = (
                script="bench_serving.py",
                tier="gating", kind="parity", marker="not perf",
                depends=("inference.parity",)),
+    BenchEntry(name="serving.chaos", bench="chaos",
+               script="bench_chaos.py",
+               tier="perf", kind="parity",
+               depends=("serving.parity",)),
     BenchEntry(name="solver.perf", bench="solver_scaling",
                script="bench_solver_scaling.py",
                tier="perf", kind="perf", marker="perf",

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro import nn
 from repro.data.case import CaseBundle
+from repro.faults import degrade
 from repro.features.resize import restore_map
 from repro.infer import InferenceEngine, InferenceUnsupportedError
 from repro.nn.module import Module
@@ -243,7 +244,12 @@ class IRPredictor:
             except InferenceUnsupportedError as error:
                 if self.engine_mode is True:
                     raise
-                # "auto": remember the failure and fall back for good
+                # "auto": remember the failure and fall back for good —
+                # loudly, on the process degradation ledger, so a
+                # predictor silently running 2x slower on autograd shows
+                # up in PredictionService.stats()["degradations"]
+                degrade.record("infer.engine", "engine", "autograd",
+                               f"{self.name}: {error}")
                 self._engine_error = str(error)
                 self._engine = None
             else:

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.case import CaseBundle
+from repro.faults.points import fault_point
 from repro.spice.parser import parse_spice_file
 from repro.spice.writer import write_spice_file
 
@@ -88,6 +89,7 @@ _META_FILE = "meta.json"
 
 def write_case(case: CaseBundle, directory: str) -> str:
     """Persist a case bundle as a contest-style directory; return its path."""
+    fault_point("io.write_case")
     os.makedirs(directory, exist_ok=True)
     write_spice_file(case.netlist, os.path.join(directory, _NETLIST_FILE))
     for channel, filename in CHANNEL_FILES.items():
@@ -104,6 +106,7 @@ def write_case(case: CaseBundle, directory: str) -> str:
 
 def read_case(directory: str) -> CaseBundle:
     """Load a case bundle previously written by :func:`write_case`."""
+    fault_point("io.read_case")
     meta_path = os.path.join(directory, _META_FILE)
     with open(meta_path) as handle:
         meta = json.load(handle)

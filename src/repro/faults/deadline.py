@@ -1,0 +1,72 @@
+"""Deadlines: absolute time budgets that fail fast and loudly.
+
+A :class:`Deadline` is an absolute ``perf_counter`` timestamp with the
+arithmetic every layer needs (``remaining``, ``expired``, ``check``).
+It is deliberately tiny — the value of the abstraction is that the
+serving queue, the scheduler, the solver budgets, and the retry helper
+all speak the *same* deadline object, so a budget set at admission is
+honoured end to end instead of each layer inventing its own timeout.
+
+:class:`DeadlineExceededError` is the typed failure: a request (or
+solve) that missed its budget.  It is a :class:`TimeoutError` subclass,
+so callers already catching timeouts keep working, while chaos
+assertions can demand the *typed* error.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Deadline", "DeadlineExceededError"]
+
+
+class DeadlineExceededError(TimeoutError):
+    """A time budget expired before the work completed."""
+
+
+class Deadline:
+    """An absolute expiry on the ``perf_counter`` clock.
+
+    ``Deadline.after(1.5)`` expires 1.5 s from now; ``Deadline(None)``
+    (or ``Deadline.after(None)``) never expires, so call sites can
+    thread one object through without branching on "was a deadline
+    configured".
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: Optional[float]):
+        self.expires_at = None if expires_at is None else float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        if seconds is None:
+            return cls(None)
+        if seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        return cls(time.perf_counter() + seconds)
+
+    @property
+    def unbounded(self) -> bool:
+        return self.expires_at is None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0), or ``None`` when unbounded."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.perf_counter())
+
+    def expired(self) -> bool:
+        return (self.expires_at is not None
+                and time.perf_counter() >= self.expires_at)
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        if self.expired():
+            raise DeadlineExceededError(f"{what} missed its deadline")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.expires_at is None:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"

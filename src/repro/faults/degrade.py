@@ -1,0 +1,146 @@
+"""Graceful degradation, made explicit and observable.
+
+The stack has always had fallbacks — the ``"auto"`` inference engine
+drops to the autograd forward when a model cannot compile, the ``"auto"``
+CG preconditioner picks incomplete-Cholesky when multigrid lacks
+coordinates, the process worker pool respawns dead workers until a
+ceiling.  What it lacked was *visibility*: a service running on its
+fallbacks looked identical to a healthy one, just slower.  This module
+gives every fallback one narrow waist:
+
+* :class:`DegradationEvent` — who degraded, from what, to what, why;
+* :class:`DegradationLog` — a thread-safe recorder with counters, so
+  ``stats()`` surfaces (``PredictionService.stats()["degradations"]``,
+  solver setup reports) can show exactly which rungs have been
+  descended;
+* :class:`DegradationPolicy` — the knobs: which fallback chains are
+  allowed at all, and how many worker respawns before the pool declares
+  itself failed.  A policy with a chain disabled turns that silent
+  fallback into a loud error, which is what strict reproduction runs
+  want.
+
+Components record against the module-level :func:`default_log` unless
+handed their own — one process, one degradation ledger, matching how an
+operator actually asks "is this box degraded?".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["DegradationEvent", "DegradationLog", "DegradationPolicy",
+           "default_log", "record", "reset_default_log"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One descent down a fallback chain."""
+
+    component: str        # "infer.engine", "solver.precond", "serve.pool"
+    from_mode: str        # the rung that failed ("engine", "mg", ...)
+    to_mode: str          # the rung now in use ("autograd", "ic", ...)
+    reason: str           # why (exception text, ceiling hit, ...)
+    at: float = field(default_factory=time.perf_counter)
+
+    def to_dict(self) -> dict:
+        return {"component": self.component, "from": self.from_mode,
+                "to": self.to_mode, "reason": self.reason}
+
+
+class DegradationLog:
+    """Thread-safe ledger of degradation events."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: List[DegradationEvent] = []
+
+    def record(self, component: str, from_mode: str, to_mode: str,
+               reason: str) -> DegradationEvent:
+        event = DegradationEvent(component=component, from_mode=from_mode,
+                                 to_mode=to_mode, reason=str(reason))
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def events(self, component: Optional[str] = None
+               ) -> List[DegradationEvent]:
+        with self._lock:
+            events = list(self._events)
+        if component is not None:
+            events = [e for e in events if e.component == component]
+        return events
+
+    def counts(self) -> Dict[str, int]:
+        """``{"component: from->to": n}`` — the stats() payload."""
+        out: Dict[str, int] = {}
+        for event in self.events():
+            key = f"{event.component}: {event.from_mode}->{event.to_mode}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_DEFAULT = DegradationLog()
+
+
+def default_log() -> DegradationLog:
+    """The process-wide ledger components record to by default."""
+    return _DEFAULT
+
+
+def record(component: str, from_mode: str, to_mode: str,
+           reason: str) -> DegradationEvent:
+    """Record onto the default ledger (the one-line call sites use)."""
+    return _DEFAULT.record(component, from_mode, to_mode, reason)
+
+
+def reset_default_log() -> None:
+    """Clear the default ledger (test isolation)."""
+    _DEFAULT.clear()
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Which fallback chains may be descended, and how far.
+
+    ``precond_chain`` is ordered best-first; the solver tries each rung
+    in turn when the previous one fails to *build* (setup exceptions —
+    a preconditioner that builds but converges slowly is a perf problem,
+    not a fault).  ``engine_fallback=False`` turns the auto engine's
+    silent autograd fallback into a hard error.  ``max_respawns`` is the
+    worker pool's crash-loop ceiling (the old module constant, now a
+    policy knob).
+    """
+
+    engine_fallback: bool = True
+    precond_chain: Tuple[str, ...] = ("mg", "ic", "jacobi")
+    max_respawns: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}")
+        if not self.precond_chain:
+            raise ValueError("precond_chain must name at least one rung")
+        for rung in self.precond_chain:
+            if rung not in ("mg", "ic", "jacobi"):
+                raise ValueError(
+                    f"unknown preconditioner rung {rung!r} "
+                    f"(choose from mg/ic/jacobi)")
+
+    def chain_after(self, rung: str) -> Tuple[str, ...]:
+        """The rungs below ``rung`` in the chain (empty if last/absent)."""
+        if rung not in self.precond_chain:
+            return ()
+        index = self.precond_chain.index(rung)
+        return self.precond_chain[index + 1:]

@@ -1,0 +1,324 @@
+"""Deterministic, seedable fault schedules.
+
+A :class:`FaultPlan` is the replayable unit of chaos: a set of
+:class:`FaultRule` objects, each bound to a named injection point (see
+:mod:`repro.faults.points`) and firing on a *deterministic* subset of the
+calls that reach that point.  Determinism is the whole design:
+
+* every rule's firing pattern is computed from ``(plan seed, point name,
+  rule index, call number)`` alone — never from wall-clock time, never
+  from a shared RNG whose state depends on unrelated points — so two
+  runs that issue the same sequence of calls at a point see the identical
+  faults, regardless of what other points did in between;
+* the plan serialises to plain JSON (:meth:`FaultPlan.to_json`), which is
+  exactly the replay artifact the chaos CI job uploads on failure: feed
+  the same JSON back through :meth:`FaultPlan.from_json` and the failure
+  reproduces;
+* every fault that actually fired is appended to :attr:`FaultPlan.log`
+  (point, call number, action), so a soak can assert after the fact that
+  the executed sequence equals the planned one.
+
+Rules select calls either explicitly (``at=(1, 4)`` — fire on the 1st and
+4th call, 1-based) or probabilistically (``probability=0.2`` — an
+independent seeded coin per call).  Both are pure functions of the seed,
+so "probabilistic" never means "unreproducible".
+
+Actions are deliberately few:
+
+=========  ===========================================================
+action     effect at the injection point
+=========  ===========================================================
+``error``  raise (default :class:`InjectedFaultError`, an ``OSError``)
+``delay``  sleep ``seconds`` then continue (stall injection)
+``corrupt``  flip one deterministic bit of the payload offered at the
+             point (only at points that pass data through)
+``kill``   no in-process effect; a *driver action* for the chaos
+           harness, which terminates the scheduled worker process
+=========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FaultRule", "FaultPlan", "FaultEvent", "InjectedFaultError",
+           "FAULT_ACTIONS"]
+
+FAULT_ACTIONS = ("error", "delay", "corrupt", "kill")
+
+
+class InjectedFaultError(OSError):
+    """The error an ``error`` rule raises by default.
+
+    An ``OSError`` subclass on purpose: instrumented sites sit on I/O
+    paths whose callers already handle ``OSError``, so injected faults
+    exercise the *production* error handling, while tests (and the
+    retry helper's ``fault-aware`` mode) can still tell an injected
+    fault from a real one by type.
+    """
+
+    def __init__(self, point: str, call: int, note: str = ""):
+        self.point = point
+        self.call = call
+        detail = f" ({note})" if note else ""
+        super().__init__(
+            f"injected fault at {point!r} (call #{call}){detail}")
+
+
+def _rule_digest(seed: int, point: str, rule_index: int, call: int) -> int:
+    """Deterministic 64-bit hash of one (rule, call) coordinate."""
+    key = f"{seed}:{point}:{rule_index}:{call}".encode()
+    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source bound to one injection point.
+
+    Parameters
+    ----------
+    point:
+        Injection-point name (``"store.save.rename"``, ``"serve.predict"``
+        ...) or a driver-action target (``"worker"`` for ``kill`` rules).
+    action:
+        One of :data:`FAULT_ACTIONS`.
+    at:
+        Explicit 1-based call numbers to fire on.  Mutually composable
+        with ``probability`` (a call fires if either selects it).
+    probability:
+        Independent per-call firing chance, decided by a seeded hash —
+        the same calls fire on every replay.
+    seconds:
+        Sleep length for ``delay`` rules (and the stall length a driver
+        applies for ``kill``/stall scheduling).
+    max_fires:
+        Hard cap on total fires for this rule (0 = unlimited).
+    note:
+        Free-form tag carried into the injected error message / log.
+    """
+
+    point: str
+    action: str = "error"
+    at: Tuple[int, ...] = ()
+    probability: float = 0.0
+    seconds: float = 0.0
+    max_fires: int = 0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"action must be one of {FAULT_ACTIONS}, got {self.action!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if any(call < 1 for call in self.at):
+            raise ValueError(f"call numbers are 1-based, got {self.at}")
+        object.__setattr__(self, "at", tuple(int(c) for c in self.at))
+
+    def fires_on(self, seed: int, rule_index: int, call: int) -> bool:
+        """Whether this rule fires on ``call`` (pure; no state)."""
+        if call in self.at:
+            return True
+        if self.probability > 0.0:
+            digest = _rule_digest(seed, self.point, rule_index, call)
+            return (digest / 2**64) < self.probability
+        return False
+
+    def to_dict(self) -> dict:
+        return {"point": self.point, "action": self.action,
+                "at": list(self.at), "probability": self.probability,
+                "seconds": self.seconds, "max_fires": self.max_fires,
+                "note": self.note}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRule":
+        return cls(point=payload["point"], action=payload["action"],
+                   at=tuple(payload.get("at", ())),
+                   probability=float(payload.get("probability", 0.0)),
+                   seconds=float(payload.get("seconds", 0.0)),
+                   max_fires=int(payload.get("max_fires", 0)),
+                   note=payload.get("note", ""))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (the replay-log record)."""
+
+    point: str
+    action: str
+    call: int
+    rule_index: int
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {"point": self.point, "action": self.action,
+                "call": self.call, "rule_index": self.rule_index,
+                "note": self.note}
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of faults.
+
+    Thread-safe: the per-point call counters and the fired-event log sit
+    behind one lock, so concurrent serving threads hitting the same
+    armed plan still count calls (and therefore fire faults) in a single
+    global order per point.
+    """
+
+    def __init__(self, seed: int, rules: Sequence[FaultRule] = (),
+                 sleep=time.sleep):
+        self.seed = int(seed)
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.log: List[FaultEvent] = []
+        self._calls: Dict[str, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def calls(self, point: str) -> int:
+        """How many times ``point`` has been visited under this plan."""
+        with self._lock:
+            return self._calls.get(point, 0)
+
+    def _select(self, point: str) -> Tuple[int, List[Tuple[int, FaultRule]]]:
+        """Advance the point's call counter; return the firing rules."""
+        with self._lock:
+            call = self._calls.get(point, 0) + 1
+            self._calls[point] = call
+            firing: List[Tuple[int, FaultRule]] = []
+            for index, rule in enumerate(self.rules):
+                if rule.point != point:
+                    continue
+                if rule.max_fires and self._fired.get(index, 0) >= rule.max_fires:
+                    continue
+                if rule.fires_on(self.seed, index, call):
+                    self._fired[index] = self._fired.get(index, 0) + 1
+                    firing.append((index, rule))
+                    self.log.append(FaultEvent(
+                        point=point, action=rule.action, call=call,
+                        rule_index=index, note=rule.note))
+            return call, firing
+
+    def visit(self, point: str) -> None:
+        """Count one call at ``point`` and apply any firing fault.
+
+        ``delay`` rules sleep; ``error`` rules raise
+        :class:`InjectedFaultError`; ``corrupt``/``kill`` rules are
+        counted but inert here (corruption is applied by
+        :func:`repro.faults.points.maybe_corrupt`, kills by the chaos
+        driver).  When several rules fire on one call, delays apply
+        before the error is raised — a stalled-then-failing I/O call,
+        the nastiest real-world shape.
+        """
+        call, firing = self._select(point)
+        error: Optional[InjectedFaultError] = None
+        for index, rule in firing:
+            if rule.action == "delay":
+                self._sleep(rule.seconds)
+            elif rule.action == "error" and error is None:
+                error = InjectedFaultError(point, call, rule.note)
+        if error is not None:
+            raise error
+
+    def corrupts(self, point: str) -> bool:
+        """Count one call at ``point``; true if a ``corrupt`` rule fired."""
+        _, firing = self._select(point)
+        return any(rule.action == "corrupt" for _, rule in firing)
+
+    # ------------------------------------------------------------------
+    def driver_actions(self, action: str) -> List[Tuple[int, FaultRule]]:
+        """The (rule_index, rule) pairs of a driver-executed action kind
+        (``kill`` schedules for the chaos harness)."""
+        return [(index, rule) for index, rule in enumerate(self.rules)
+                if rule.action == action]
+
+    def record_driver_event(self, point: str, action: str, call: int,
+                            rule_index: int, note: str = "") -> None:
+        """Log a fault the *driver* executed (worker kill, stall message)
+        so the replay log covers out-of-process faults too."""
+        with self._lock:
+            self.log.append(FaultEvent(point=point, action=action,
+                                       call=call, rule_index=rule_index,
+                                       note=note))
+
+    # ------------------------------------------------------------------
+    def schedule(self, point: str, calls: int) -> List[Tuple[int, int]]:
+        """Precomputed firing pattern: the (call, rule_index) pairs that
+        would fire over the first ``calls`` visits of ``point``.
+
+        Pure — does not touch the live counters — which makes replay
+        determinism checkable without executing anything: two plans with
+        the same seed and rules produce identical schedules.
+        """
+        out: List[Tuple[int, int]] = []
+        fired: Dict[int, int] = {}
+        for call in range(1, calls + 1):
+            for index, rule in enumerate(self.rules):
+                if rule.point != point:
+                    continue
+                if rule.max_fires and fired.get(index, 0) >= rule.max_fires:
+                    continue
+                if rule.fires_on(self.seed, index, call):
+                    fired[index] = fired.get(index, 0) + 1
+                    out.append((call, index))
+        return out
+
+    # ------------------------------------------------------------------
+    def log_events(self) -> List[FaultEvent]:
+        with self._lock:
+            return list(self.log)
+
+    def to_json(self) -> str:
+        """The replay artifact: seed, rules, and everything that fired."""
+        payload = {
+            "format": "lmm-ir-fault-plan-v1",
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "log": [event.to_dict() for event in self.log_events()],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if payload.get("format") != "lmm-ir-fault-plan-v1":
+            raise ValueError(
+                f"not a fault-plan JSON (format={payload.get('format')!r})")
+        return cls(seed=int(payload["seed"]),
+                   rules=[FaultRule.from_dict(r) for r in payload["rules"]])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, "
+                f"fired={len(self.log)})")
+
+
+def corrupt_bytes(data: bytes, seed: int, call: int) -> bytes:
+    """Flip one deterministic bit of ``data`` (seeded by ``(seed, call)``).
+
+    Empty payloads are returned unchanged — there is no bit to flip.
+    """
+    if not data:
+        return data
+    digest = _rule_digest(seed, "__corrupt__", 0, call)
+    offset = digest % len(data)
+    bit = (digest >> 32) % 8
+    out = bytearray(data)
+    out[offset] ^= 1 << bit
+    return bytes(out)
+
+
+def corrupt_array(array: np.ndarray, seed: int, call: int) -> np.ndarray:
+    """A copy of ``array`` with one deterministic bit flipped."""
+    flat = corrupt_bytes(array.tobytes(), seed, call)
+    return np.frombuffer(flat, dtype=array.dtype).reshape(array.shape).copy()

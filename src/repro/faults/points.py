@@ -1,0 +1,133 @@
+"""Named injection points and the arm/disarm switch.
+
+Instrumented production code calls :func:`fault_point` (control-flow
+faults: errors, stalls) or :func:`maybe_corrupt` (data faults: a single
+deterministic bit flip) at named sites.  With no plan armed — the only
+state production traffic ever sees — both are a single global ``is
+None`` check and an immediate return: no locks, no dict lookups, no
+allocation.
+
+Arming is explicit and scoped::
+
+    with inject(FaultPlan(seed=7, rules=[...])):
+        ...   # every instrumented site consults the plan
+
+``arm`` / ``disarm`` exist for harnesses that cannot use a ``with``
+block (a daemon armed for its whole lifetime).  Only one plan can be
+armed at a time per process — chaos is confusing enough without layered
+plans — and arming is process-local: spawned worker processes see no
+plan unless their entry point arms one (process-level faults are the
+chaos *driver's* job: it kills real processes).
+
+The canonical point names (the table lives in EXPERIMENTS.md):
+
+===========================  =========================================
+point                        site
+===========================  =========================================
+``store.load.meta``          FactorizationStore.load, meta read
+``store.load.payload``       FactorizationStore.load, npz read
+``store.save.write``         FactorizationStore.save, staging write
+``store.save.rename``        FactorizationStore.save, final rename
+``store.save.payload``       (corrupt) payload bytes being staged
+``registry.index.write``     ModelRegistry index staging write
+``registry.index.rename``    ModelRegistry index atomic replace
+``io.write_case``            data.io.write_case entry
+``io.read_case``             data.io.read_case entry
+``io.case.payload``          (corrupt) the golden IR map being written
+``solver.solve``             FactorizedPDN.solve_vector entry
+``serve.dispatch``           scheduler, just before pool.submit
+``serve.predict``            worker, before running a micro-batch
+``worker``                   (kill; driver-executed) process workers
+===========================  =========================================
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, corrupt_array, corrupt_bytes
+
+__all__ = ["fault_point", "maybe_corrupt", "maybe_corrupt_bytes",
+           "arm", "disarm", "inject", "active_plan"]
+
+_ACTIVE: Optional[FaultPlan] = None
+_ARM_LOCK = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, or ``None`` (the production state)."""
+    return _ACTIVE
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide; refuses to stack over an armed plan."""
+    global _ACTIVE
+    with _ARM_LOCK:
+        if _ACTIVE is not None:
+            raise RuntimeError(
+                "a FaultPlan is already armed; disarm() it first "
+                "(plans do not stack)")
+        _ACTIVE = plan
+    return plan
+
+
+def disarm() -> Optional[FaultPlan]:
+    """Disarm and return the active plan (``None`` if none was armed)."""
+    global _ACTIVE
+    with _ARM_LOCK:
+        plan, _ACTIVE = _ACTIVE, None
+    return plan
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Scoped arming: ``with inject(plan): ...`` — always disarms."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def fault_point(name: str) -> None:
+    """Visit the named injection point.
+
+    Disarmed (production): one global load and a ``None`` check.
+    Armed: counts the call and applies whatever the plan scheduled —
+    sleeps for ``delay`` rules, raises :class:`InjectedFaultError`
+    for ``error`` rules.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    plan.visit(name)
+
+
+def maybe_corrupt(name: str, array: np.ndarray) -> np.ndarray:
+    """Pass ``array`` through a corruption point.
+
+    Returns the array untouched unless an armed plan fires a ``corrupt``
+    rule on this call, in which case a copy with one deterministic bit
+    flipped comes back — the storage integrity layers are expected to
+    catch it downstream.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return array
+    if plan.corrupts(name):
+        return corrupt_array(array, plan.seed, plan.calls(name))
+    return array
+
+
+def maybe_corrupt_bytes(name: str, data: bytes) -> bytes:
+    """Byte-payload twin of :func:`maybe_corrupt`."""
+    plan = _ACTIVE
+    if plan is None:
+        return data
+    if plan.corrupts(name):
+        return corrupt_bytes(data, plan.seed, plan.calls(name))
+    return data

@@ -19,6 +19,7 @@ from repro.serve.config import ServeConfig, WORKER_KINDS
 from repro.serve.loadgen import LoadReport, open_loop_load
 from repro.serve.queue import (
     BackpressureError,
+    DeadlineExceededError,
     PredictionFailedError,
     PredictionRequest,
     PredictionTicket,
@@ -26,6 +27,7 @@ from repro.serve.queue import (
     ServeError,
     ServeResult,
     ServiceClosedError,
+    TicketStateError,
     WorkerDiedError,
 )
 from repro.serve.registry import SERVE_CHECKPOINT_FORMAT, ModelRegistry
@@ -36,7 +38,8 @@ __all__ = [
     "ServeConfig", "WORKER_KINDS",
     "RequestQueue", "PredictionRequest", "PredictionTicket", "ServeResult",
     "ServeError", "BackpressureError", "ServiceClosedError",
-    "WorkerDiedError", "PredictionFailedError",
+    "WorkerDiedError", "PredictionFailedError", "TicketStateError",
+    "DeadlineExceededError",
     "PredictorSpec", "ThreadWorkerPool", "ProcessWorkerPool",
     "PredictionService",
     "ModelRegistry", "SERVE_CHECKPOINT_FORMAT",

@@ -19,6 +19,16 @@ REPRO_SERVE_RETRIES        re-dispatch attempts after a worker death
 REPRO_SERVE_MP_CONTEXT     multiprocessing start method for process
                            workers (default ``spawn``: never forks a
                            threaded parent)
+REPRO_SERVE_DEADLINE_MS    per-request deadline, milliseconds (unset/
+                           empty/0 = none); expired requests fail fast
+                           with ``DeadlineExceededError`` before
+                           occupying a micro-batch slot
+REPRO_SERVE_BACKOFF_BASE_MS  first re-dispatch delay after a worker
+                             death (exponential from here)
+REPRO_SERVE_BACKOFF_CAP_MS   re-dispatch delay ceiling
+REPRO_SERVE_MAX_RESPAWNS   process-worker respawn ceiling before the
+                           pool declares itself failed (crash-loop
+                           backstop)
 =========================  ============================================
 """
 
@@ -30,6 +40,18 @@ from dataclasses import dataclass
 __all__ = ["ServeConfig", "WORKER_KINDS"]
 
 WORKER_KINDS = ("thread", "process")
+
+
+def _env_deadline(name: str) -> "float | None":
+    """Milliseconds from the environment; unset, empty, or 0 mean no
+    deadline."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    value_ms = float(raw)
+    if value_ms == 0:
+        return None
+    return value_ms / 1000.0
 
 
 @dataclass
@@ -54,6 +76,10 @@ class ServeConfig:
     batch_window_s: float = 0.002
     retries: int = 1
     mp_context: str = "spawn"
+    deadline_s: "float | None" = None
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 0.5
+    max_respawns: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -72,6 +98,19 @@ class ServeConfig:
                 f"batch_window_s must be >= 0, got {self.batch_window_s}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive or None, got {self.deadline_s}")
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s must be >= backoff_base_s, "
+                f"got {self.backoff_cap_s} < {self.backoff_base_s}")
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}")
 
     @classmethod
     def from_env(cls, **overrides) -> "ServeConfig":
@@ -92,6 +131,15 @@ class ServeConfig:
             retries=env_int("REPRO_SERVE_RETRIES", cls.retries),
             mp_context=os.environ.get("REPRO_SERVE_MP_CONTEXT",
                                       cls.mp_context).strip().lower(),
+            deadline_s=_env_deadline("REPRO_SERVE_DEADLINE_MS"),
+            backoff_base_s=float(os.environ.get(
+                "REPRO_SERVE_BACKOFF_BASE_MS",
+                cls.backoff_base_s * 1000.0)) / 1000.0,
+            backoff_cap_s=float(os.environ.get(
+                "REPRO_SERVE_BACKOFF_CAP_MS",
+                cls.backoff_cap_s * 1000.0)) / 1000.0,
+            max_respawns=env_int("REPRO_SERVE_MAX_RESPAWNS",
+                                 cls.max_respawns),
         )
         for key, value in overrides.items():
             if not hasattr(config, key):

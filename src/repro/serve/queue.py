@@ -16,15 +16,17 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 import numpy as np
 
 from repro.data.case import CaseBundle
+from repro.faults.deadline import Deadline, DeadlineExceededError
 
 __all__ = [
     "ServeError", "BackpressureError", "ServiceClosedError",
-    "WorkerDiedError", "PredictionFailedError",
+    "WorkerDiedError", "PredictionFailedError", "TicketStateError",
+    "DeadlineExceededError",
     "ServeResult", "PredictionTicket", "PredictionRequest", "RequestQueue",
 ]
 
@@ -61,6 +63,15 @@ class PredictionFailedError(ServeError):
     """The worker's predictor raised while serving this request."""
 
 
+class TicketStateError(ServeError):
+    """A ticket was fulfilled or failed twice.
+
+    Double resolution is always a service bug (two paths both believing
+    they own the request's outcome), so it is refused loudly instead of
+    silently overwriting whichever result arrived first.
+    """
+
+
 @dataclass(frozen=True)
 class ServeResult:
     """One served prediction plus its accounting."""
@@ -76,7 +87,14 @@ class ServeResult:
 
 
 class PredictionTicket:
-    """Caller-side future for one submitted request."""
+    """Caller-side future for one submitted request.
+
+    The producer side is a strict one-shot state machine: exactly one of
+    :meth:`fulfill` / :meth:`fail` may run, exactly once.  A second
+    resolution raises :class:`TicketStateError` — the shutdown sweepers
+    check :meth:`done` first, so any double resolution that reaches here
+    is a bug worth crashing on.
+    """
 
     def __init__(self, request_id: int, case_name: str):
         self.request_id = request_id
@@ -84,6 +102,11 @@ class PredictionTicket:
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
         self._error: Optional[BaseException] = None
+        self._resolve_lock = threading.Lock()
+        # Set by the service at submit time so a timeout message can
+        # describe the service state without the ticket holding a
+        # reference cycle to it.
+        self._context: Optional[Callable[[], str]] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -91,9 +114,15 @@ class PredictionTicket:
     def result(self, timeout: Optional[float] = None) -> ServeResult:
         """Block for the result; re-raises the serving failure if any."""
         if not self._event.wait(timeout):
+            detail = ""
+            if self._context is not None:
+                try:
+                    detail = f"; {self._context()}"
+                except Exception:  # pragma: no cover - diagnostics only
+                    detail = ""
             raise TimeoutError(
                 f"request {self.request_id} ({self.case_name!r}) not "
-                f"served within {timeout}s")
+                f"served within {timeout}s{detail}")
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -101,12 +130,25 @@ class PredictionTicket:
 
     # -- producer side (service internals) -----------------------------
     def fulfill(self, result: ServeResult) -> None:
-        self._result = result
-        self._event.set()
+        with self._resolve_lock:
+            self._check_unresolved("fulfill")
+            self._result = result
+            self._event.set()
 
     def fail(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
+        with self._resolve_lock:
+            self._check_unresolved("fail")
+            self._error = error
+            self._event.set()
+
+    def _check_unresolved(self, verb: str) -> None:
+        if self._event.is_set():
+            prior = ("failed with "
+                     f"{type(self._error).__name__}: {self._error}"
+                     if self._error is not None else "fulfilled")
+            raise TicketStateError(
+                f"cannot {verb} request {self.request_id} "
+                f"({self.case_name!r}): ticket already {prior}")
 
 
 @dataclass
@@ -119,6 +161,7 @@ class PredictionRequest:
     submitted: float = field(default_factory=time.perf_counter)
     dispatched: Optional[float] = None
     attempts: int = 0
+    deadline: Optional[Deadline] = None
 
 
 class RequestQueue:

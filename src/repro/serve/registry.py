@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults.points import fault_point
 from repro.nn.module import Module
 from repro.serve.queue import ServeError
 from repro.solver.store import FactorizationStore
@@ -75,11 +76,26 @@ class ModelRegistry:
         return index
 
     def _write_index(self, index: dict) -> None:
+        """Atomically replace the index: stage, then one ``os.replace``.
+
+        Any crash (or injected fault) before the replace leaves the
+        previous index untouched and readable; the staging file is
+        cleaned up on failure so a crashed publish leaves no debris.
+        """
         os.makedirs(self.root, exist_ok=True)
         staging = f"{self._index_path}.tmp.{os.getpid()}"
-        with open(staging, "w") as handle:
-            json.dump(index, handle, indent=2, sort_keys=True)
-        os.replace(staging, self._index_path)
+        try:
+            fault_point("registry.index.write")
+            with open(staging, "w") as handle:
+                json.dump(index, handle, indent=2, sort_keys=True)
+            fault_point("registry.index.rename")
+            os.replace(staging, self._index_path)
+        except BaseException:
+            try:
+                os.remove(staging)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------
     def publish(self, name: str, source,

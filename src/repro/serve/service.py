@@ -35,6 +35,9 @@ import numpy as np
 
 from repro.core.pipeline import IRPredictor
 from repro.data.case import CaseBundle
+from repro.faults.deadline import Deadline, DeadlineExceededError
+from repro.faults.degrade import default_log
+from repro.faults.points import fault_point
 from repro.metrics.timing import latency_summary
 from repro.serve.config import ServeConfig
 from repro.serve.queue import (
@@ -74,6 +77,7 @@ class PredictionService:
         self._stats_lock = threading.Lock()
         self._tickets: Deque[PredictionTicket] = deque()
         self._served = 0
+        self._expired = 0
         self._latencies: List[float] = []
         self._tats: List[float] = []
         self._queue_waits: List[float] = []
@@ -104,9 +108,16 @@ class PredictionService:
         self.stop()
 
     # ------------------------------------------------------------------
-    def submit(self, case: CaseBundle) -> PredictionTicket:
+    def submit(self, case: CaseBundle,
+               deadline_s: Optional[float] = None) -> PredictionTicket:
         """Admit one case; returns its ticket or raises loudly
         (:class:`BackpressureError` / :class:`ServiceClosedError`).
+
+        ``deadline_s`` (falling back to ``config.deadline_s``) starts the
+        request's deadline clock at admission: a request still queued when
+        its deadline passes is failed fast with
+        :class:`DeadlineExceededError` instead of occupying a micro-batch
+        slot.
 
         Submitting before :meth:`start` is allowed — admission is the
         queue's business, not the scheduler's — so callers (and the
@@ -115,8 +126,12 @@ class PredictionService:
         if self._stopped:
             raise ServiceClosedError("service is stopped")
         ticket = PredictionTicket(next(self._ids), case.name)
-        request = PredictionRequest(id=ticket.request_id, case=case,
-                                    ticket=ticket)
+        ticket._context = self._ticket_context
+        budget = deadline_s if deadline_s is not None \
+            else self.config.deadline_s
+        request = PredictionRequest(
+            id=ticket.request_id, case=case, ticket=ticket,
+            deadline=Deadline.after(budget) if budget is not None else None)
         self.queue.submit(request)
         with self._stats_lock:
             # keep the drain list from growing without bound on a
@@ -132,12 +147,27 @@ class PredictionService:
         return self.submit(case).result(timeout)
 
     # ------------------------------------------------------------------
+    def _expire_if_late(self, request: PredictionRequest) -> bool:
+        """Fail a queued request whose deadline already passed; returns
+        True when the request was expired (and must not be batched)."""
+        if request.deadline is None or not request.deadline.expired():
+            return False
+        waited = time.perf_counter() - request.submitted
+        request.ticket.fail(DeadlineExceededError(
+            f"request {request.id} ({request.case.name!r}) expired after "
+            f"{waited:.3f}s in queue; deadline passed before dispatch"))
+        with self._stats_lock:
+            self._expired += 1
+        return True
+
     def _scheduler_loop(self) -> None:
         while True:
             head = self.queue.pop(timeout=0.05)
             if head is None:
                 if self.queue.closed and not len(self.queue):
                     return
+                continue
+            if self._expire_if_late(head):
                 continue
             batch = [head]
             deadline = time.perf_counter() + self.config.batch_window_s
@@ -148,15 +178,19 @@ class PredictionService:
                 companion = self.queue.pop(timeout=remaining)
                 if companion is None:
                     break
+                if self._expire_if_late(companion):
+                    continue
                 batch.append(companion)
             now = time.perf_counter()
             for request in batch:
                 request.dispatched = now
             try:
+                fault_point("serve.dispatch")
                 self.pool.submit(batch)
             except BaseException as error:
                 for request in batch:
-                    request.ticket.fail(error)
+                    if not request.ticket.done():
+                        request.ticket.fail(error)
 
     def _record(self, result: ServeResult) -> None:
         with self._stats_lock:
@@ -182,10 +216,17 @@ class PredictionService:
         self.pool.swap(state, timeout=timeout)
 
     # ------------------------------------------------------------------
+    def _ticket_context(self) -> str:
+        """One-line service snapshot appended to ticket timeout errors."""
+        return (f"queue_depth={len(self.queue)}, "
+                f"workers={self.pool.worker_count}, "
+                f"served={self._served}")
+
     def stats(self) -> dict:
         """Serving counters plus latency/TAT percentile summaries."""
         with self._stats_lock:
             served = self._served
+            expired = self._expired
             latencies = list(self._latencies)
             tats = list(self._tats)
             queue_waits = list(self._queue_waits)
@@ -193,9 +234,11 @@ class PredictionService:
         report = {
             "served": served,
             "rejected": self.queue.rejected,
+            "deadline_expired": expired,
             "queue_depth": len(self.queue),
             "workers": self.pool.worker_count,
             "worker_kind": self.config.worker_kind,
+            "degradations": default_log().counts(),
         }
         if latencies:
             report["latency"] = latency_summary(latencies)

@@ -38,6 +38,9 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.pipeline import IRPredictor
+from repro.faults.backoff import BackoffPolicy
+from repro.faults.degrade import record as record_degradation
+from repro.faults.points import fault_point
 from repro.nn.module import Module
 from repro.serve.config import ServeConfig
 from repro.serve.queue import (
@@ -52,8 +55,9 @@ from repro.train.loader import CasePreprocessor
 
 __all__ = ["PredictorSpec", "ThreadWorkerPool", "ProcessWorkerPool"]
 
-#: Hard cap on process-worker respawns per pool — a backstop against a
-#: crash-looping spec burning CPU forever, far above any real recovery.
+#: Default cap on process-worker respawns per pool — a backstop against
+#: a crash-looping spec burning CPU forever, far above any real
+#: recovery.  Tunable per pool via ``ServeConfig.max_respawns``.
 MAX_RESPAWNS = 8
 
 ResultCallback = Callable[[ServeResult], None]
@@ -160,6 +164,10 @@ def _batch_entries(predictor: IRPredictor, cases) -> list:
     cannot poison the innocent requests coalesced with it.
     """
     try:
+        # inside the try on purpose: an injected fault here degrades to
+        # the per-case isolation path below instead of killing the
+        # worker loop
+        fault_point("serve.predict")
         return [("ok", prediction, float(tat))
                 for prediction, tat in predictor.predict_many(cases)]
     except Exception:
@@ -179,6 +187,8 @@ def _resolve_batch(batch: List[PredictionRequest], entries: list,
                    on_result: Optional[ResultCallback]) -> None:
     completed = time.perf_counter()
     for request, entry in zip(batch, entries):
+        if request.ticket.done():
+            continue  # a shutdown sweep beat this resolution to it
         if entry[0] == "fail":
             request.ticket.fail(PredictionFailedError(
                 f"worker {worker} failed on {request.case!r}: {entry[1]}"))
@@ -203,8 +213,15 @@ def _resolve_batch(batch: List[PredictionRequest], entries: list,
 
 def _fail_batch(batch: List[PredictionRequest],
                 error: BaseException) -> None:
+    """Fail every still-unresolved ticket in a batch.
+
+    Shutdown and reaping can race a normal resolution (e.g. a batch
+    completes while ``stop`` sweeps it); already-done tickets keep their
+    first outcome rather than tripping :class:`TicketStateError`.
+    """
     for request in batch:
-        request.ticket.fail(error)
+        if not request.ticket.done():
+            request.ticket.fail(error)
 
 
 # ----------------------------------------------------------------------
@@ -371,7 +388,12 @@ class ProcessWorkerPool:
         self._lock = threading.Condition()
         self._workers: Dict[int, _ProcessWorker] = {}
         self._idle: List[int] = []
-        self._pending: Deque[List[PredictionRequest]] = deque()
+        # (ready_at, batch): re-dispatches after a worker death wait out
+        # a jittered exponential backoff instead of hammering the fresh
+        # worker; first-time submits are ready immediately (ready_at=0)
+        self._pending: Deque[Tuple[float, List[PredictionRequest]]] = deque()
+        self._backoff = BackoffPolicy(base_s=config.backoff_base_s,
+                                      cap_s=config.backoff_cap_s)
         self._outstanding: Dict[int, Tuple[int, List[PredictionRequest]]] = {}
         self._swap_acks: Dict[int, set] = {}
         # latest hot-swapped weights; respawned workers (built from the
@@ -439,16 +461,22 @@ class ProcessWorkerPool:
                 if len(self._pending) < max(1, len(self._workers)):
                     break
                 self._lock.wait(0.1)
-            self._pending.append(batch)
+            self._pending.append((0.0, batch))
             self._dispatch_locked()
 
     def _dispatch_locked(self) -> None:
-        while self._pending and self._idle:
+        now = time.perf_counter()
+        index = 0
+        while self._idle and index < len(self._pending):
+            ready_at, batch = self._pending[index]
+            if ready_at > now:
+                index += 1  # backoff not elapsed; try the next batch
+                continue
             worker_id = self._idle.pop(0)
             worker = self._workers.get(worker_id)
             if worker is None or not worker.alive():
-                continue  # monitor will reap it
-            batch = self._pending.popleft()
+                continue  # monitor will reap it; batch stays pending
+            del self._pending[index]
             batch_id = self._next_batch_id
             self._next_batch_id += 1
             self._outstanding[worker_id] = (batch_id, batch)
@@ -472,6 +500,10 @@ class ProcessWorkerPool:
             if message is not None:
                 self._handle_message(message)
             self._reap_dead()
+            with self._lock:
+                # flush retries whose backoff window has elapsed
+                if self._pending and self._idle:
+                    self._dispatch_locked()
 
     def _handle_message(self, message) -> None:
         kind = message[0]
@@ -532,18 +564,33 @@ class ProcessWorkerPool:
                             f"(attempts={batch[0].attempts}, "
                             f"retries={self.config.retries})")))
                     else:
-                        self._pending.appendleft(batch)  # retry first
+                        # retry first, but only after a jittered backoff
+                        # keyed on the request id (deterministic per
+                        # request, decorrelated across requests)
+                        delay = self._backoff.delay(
+                            batch[0].attempts,
+                            key=batch[0].id if batch else 0)
+                        self._pending.appendleft(
+                            (time.perf_counter() + delay, batch))
                 if not self._stopping:
-                    if self._respawns >= MAX_RESPAWNS:
+                    if self._respawns >= self.config.max_respawns:
                         self._failed = (
                             f"{self._respawns} worker respawns exhausted "
                             f"(crash-looping spec?)")
+                        record_degradation(
+                            "serve.pool", "respawn", "failed",
+                            self._failed)
                     else:
                         self._respawns += 1
+                        record_degradation(
+                            "serve.pool", worker.name, "respawn",
+                            f"exitcode {worker.process.exitcode}; "
+                            f"respawn {self._respawns}/"
+                            f"{self.config.max_respawns}")
                         self._spawn_locked()
             if self._failed is not None:
                 while self._pending:
-                    to_fail.append((self._pending.popleft(),
+                    to_fail.append((self._pending.popleft()[1],
                                     ServeError(self._failed)))
             self._dispatch_locked()
             self._lock.notify_all()
@@ -600,7 +647,7 @@ class ProcessWorkerPool:
         with self._lock:
             self._stopping = True
             workers = list(self._workers.values())
-            orphans = list(self._pending)
+            orphans = [batch for _, batch in self._pending]
             self._pending.clear()
             self._lock.notify_all()
         for batch in orphans:

@@ -18,12 +18,15 @@ from repro.solver.factorized import (
     direct_size_limit,
     load_crossover_calibration,
     solve_static_ir_many,
+    solver_iteration_cap,
+    solver_wall_budget,
 )
 from repro.solver.multigrid import (
     BlockCGResult,
     IncompleteCholeskyPreconditioner,
     JacobiPreconditioner,
     MultigridPreconditioner,
+    SolverStalledError,
     block_cg,
     node_coordinates,
 )
@@ -37,7 +40,9 @@ __all__ = [
     "FactorizedPDN", "FactorizedCache", "solve_static_ir_many",
     "DIRECT_SIZE_LIMIT", "direct_size_limit", "load_crossover_calibration",
     "MultigridPreconditioner", "IncompleteCholeskyPreconditioner",
-    "JacobiPreconditioner", "block_cg", "BlockCGResult", "node_coordinates",
+    "JacobiPreconditioner", "block_cg", "BlockCGResult",
+    "SolverStalledError", "node_coordinates",
+    "solver_iteration_cap", "solver_wall_budget",
     "FactorizationStore", "STORE_FORMAT", "STORE_ENV",
     "rasterize_ir_map", "node_positions_px",
     "audit_solution", "SolutionAudit",

@@ -38,11 +38,15 @@ from scipy import sparse
 from scipy.sparse.csgraph import connected_components
 from scipy.sparse.linalg import splu
 
+from repro.faults.degrade import DegradationPolicy
+from repro.faults.degrade import record as record_degradation
+from repro.faults.points import fault_point
 from repro.solver.conductance import CurrentsLike, NodalSystem, assemble_system
 from repro.solver.multigrid import (
     IncompleteCholeskyPreconditioner,
     JacobiPreconditioner,
     MultigridPreconditioner,
+    SolverStalledError,
     block_cg,
     node_coordinates,
 )
@@ -52,6 +56,7 @@ from repro.spice.netlist import Netlist
 __all__ = [
     "FactorizedPDN", "FactorizedCache", "solve_static_ir_many",
     "DIRECT_SIZE_LIMIT", "direct_size_limit", "load_crossover_calibration",
+    "solver_iteration_cap", "solver_wall_budget",
 ]
 
 DIRECT_SIZE_LIMIT = 400_000
@@ -60,6 +65,37 @@ effective value is resolved per solve by :func:`direct_size_limit`."""
 
 DIRECT_LIMIT_ENV = "REPRO_SOLVER_DIRECT_LIMIT"
 CROSSOVER_FILE_ENV = "REPRO_SOLVER_CROSSOVER_FILE"
+
+MAX_ITERS_ENV = "REPRO_SOLVER_MAX_ITERS"
+WALL_BUDGET_ENV = "REPRO_SOLVER_BUDGET_S"
+
+
+def solver_iteration_cap() -> Optional[int]:
+    """Deployment-wide CG iteration ceiling (``REPRO_SOLVER_MAX_ITERS``).
+
+    ``None`` (unset/empty) keeps :func:`repro.solver.multigrid.block_cg`'s
+    size-derived default.  An explicit ``cg_maxiter`` always wins over
+    the environment — per-solve intent beats deployment policy.
+    """
+    raw = os.environ.get(MAX_ITERS_ENV, "").strip()
+    if not raw:
+        return None
+    cap = int(raw)
+    if cap < 1:
+        raise ValueError(f"{MAX_ITERS_ENV} must be >= 1, got {cap}")
+    return cap
+
+
+def solver_wall_budget() -> Optional[float]:
+    """Deployment-wide per-solve wall-clock budget in seconds
+    (``REPRO_SOLVER_BUDGET_S``); ``None`` when unset."""
+    raw = os.environ.get(WALL_BUDGET_ENV, "").strip()
+    if not raw:
+        return None
+    budget = float(raw)
+    if budget <= 0:
+        raise ValueError(f"{WALL_BUDGET_ENV} must be > 0, got {budget}")
+    return budget
 
 _METHODS = ("auto", "direct", "cg")
 _PRECONDS = ("auto", "mg", "ic", "jacobi")
@@ -139,7 +175,8 @@ class FactorizedPDN:
     def __init__(self, netlist: Netlist, method: str = "auto",
                  cg_rtol: float = 1e-10, cg_maxiter: Optional[int] = None,
                  precond: str = "auto", warm_start: bool = False,
-                 system: Optional[NodalSystem] = None):
+                 system: Optional[NodalSystem] = None,
+                 degradation: Optional[DegradationPolicy] = None):
         if method not in _METHODS:
             raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
         if precond not in _PRECONDS:
@@ -153,6 +190,12 @@ class FactorizedPDN:
         self.cg_rtol = cg_rtol
         self.cg_maxiter = cg_maxiter
         self.warm_start = warm_start
+        self.degradation = (degradation if degradation is not None
+                            else DegradationPolicy())
+        #: preconditioner rung actually serving solves (settles on first
+        #: CG setup; may sit below :attr:`resolved_precond` after a
+        #: degradation descent)
+        self.active_precond: Optional[str] = None
         self.factor_seconds = 0.0
         self._lu = None
         self._preconditioner = None
@@ -236,8 +279,8 @@ class FactorizedPDN:
             raise self._singular_error()
         self._connectivity_checked = True
 
-    def _build_preconditioner(self):
-        choice = self.resolved_precond
+    def _build_rung(self, choice: str):
+        """Construct one preconditioner rung; raises on setup failure."""
         matrix = self.system.matrix
         if choice == "mg":
             coords = self._grid_coordinates()
@@ -250,6 +293,43 @@ class FactorizedPDN:
         if choice == "ic":
             return IncompleteCholeskyPreconditioner(matrix)
         return JacobiPreconditioner(matrix)
+
+    def _build_preconditioner(self):
+        """Build the resolved rung, descending the degradation chain.
+
+        An *explicit* ``precond=`` choice is a configuration statement —
+        its setup failure raises, because silently serving a different
+        preconditioner than asked for would be the exact invisibility
+        this layer exists to kill.  ``precond="auto"`` descends the
+        policy's mg→ic→jacobi chain on *setup* failure (build
+        exceptions; slow convergence is a perf issue, not a fault),
+        recording every step on the degradation ledger so a degraded
+        solver is visibly degraded.
+        """
+        choice = self.resolved_precond
+        if self.precond != "auto":
+            built = self._build_rung(choice)
+            self.active_precond = choice
+            return built
+        rungs = (choice,) + self.degradation.chain_after(choice)
+        last_error: Optional[BaseException] = None
+        for index, rung in enumerate(rungs):
+            try:
+                built = self._build_rung(rung)
+            except Exception as error:
+                last_error = error
+                if index + 1 < len(rungs):
+                    record_degradation(
+                        "solver.precond", rung, rungs[index + 1],
+                        f"{self.netlist.name!r}: {type(error).__name__}: "
+                        f"{error}")
+                continue
+            self.active_precond = rung
+            return built
+        raise ValueError(
+            f"every preconditioner rung in {rungs} failed to build for "
+            f"{self.netlist.name!r}; last error: {last_error}"
+        ) from last_error
 
     def _cg_setup(self):
         """One-time CG preparation, cached on the instance.
@@ -279,24 +359,32 @@ class FactorizedPDN:
         x0 = None
         if self.warm_start and self._last_solution is not None:
             x0 = self._last_solution[:, None]
+        maxiter = (self.cg_maxiter if self.cg_maxiter is not None
+                   else solver_iteration_cap())
         with np.errstate(divide="ignore", invalid="ignore"):
             # singular systems divide by zero inside CG; detected below
             result = block_cg(self.system.matrix, columns,
                               preconditioner.apply, rtol=self.cg_rtol,
-                              atol=0.0, maxiter=self.cg_maxiter, x0=x0)
+                              atol=0.0, maxiter=maxiter, x0=x0,
+                              wall_budget_s=solver_wall_budget())
         if not result.converged:
-            raise ValueError(
+            raise SolverStalledError(
                 f"CG failed to converge for {self.netlist.name!r} "
                 f"({result.unconverged.size} of {columns.shape[1]} RHS "
                 f"columns); the system may be singular or ill-conditioned "
-                "— try method='direct'"
-            )
+                f"— try method='direct'",
+                residual_history=result.residual_history,
+                iterations=int(result.iterations.max(initial=0)),
+                elapsed_s=result.elapsed_s,
+                unconverged=result.unconverged,
+                budget=result.exhausted or "breakdown")
         if self.warm_start:
             self._last_solution = result.solution.mean(axis=1)
         return result.solution.reshape(rhs.shape)
 
     def solve_vector(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``G x = rhs`` for one (n,) or many (n, k) RHS columns."""
+        fault_point("solver.solve")
         if self.size == 0:
             return np.zeros_like(rhs, dtype=float)
         if self.resolved_method == "direct":

@@ -50,8 +50,36 @@ __all__ = [
     "JacobiPreconditioner",
     "block_cg",
     "BlockCGResult",
+    "SolverStalledError",
     "node_coordinates",
 ]
+
+
+class SolverStalledError(ValueError):
+    """An iterative solve exhausted its budget with columns unconverged.
+
+    A ``ValueError`` subclass so existing "CG failed" handling keeps
+    working, but typed — and loaded with the evidence an operator needs:
+    the per-iteration residual trajectory (was it converging slowly, or
+    flat-lined?), how many iterations and seconds were spent, and which
+    budget ran out.
+    """
+
+    def __init__(self, message: str, residual_history: np.ndarray,
+                 iterations: int, elapsed_s: float,
+                 unconverged: np.ndarray, budget: str):
+        self.residual_history = np.asarray(residual_history, dtype=float)
+        self.iterations = int(iterations)
+        self.elapsed_s = float(elapsed_s)
+        self.unconverged = np.asarray(unconverged)
+        self.budget = str(budget)  # "maxiter" or "wall"
+        tail = ", ".join(f"{value:.3e}"
+                         for value in self.residual_history[-4:])
+        super().__init__(
+            f"{message} [budget={self.budget}, "
+            f"iterations={self.iterations}, elapsed={self.elapsed_s:.3f}s, "
+            f"unconverged_columns={self.unconverged.size}, "
+            f"residual tail: {tail or 'n/a'}]")
 
 
 def node_coordinates(free_nodes) -> Optional[np.ndarray]:
@@ -402,13 +430,25 @@ def _column_norms(a: np.ndarray) -> np.ndarray:
 class BlockCGResult:
     """Outcome of a :func:`block_cg` solve."""
 
-    __slots__ = ("solution", "iterations", "unconverged")
+    __slots__ = ("solution", "iterations", "unconverged",
+                 "residual_history", "elapsed_s", "exhausted")
 
     def __init__(self, solution: np.ndarray, iterations: np.ndarray,
-                 unconverged: np.ndarray):
+                 unconverged: np.ndarray,
+                 residual_history: Optional[np.ndarray] = None,
+                 elapsed_s: float = 0.0,
+                 exhausted: Optional[str] = None):
         self.solution = solution
         self.iterations = iterations
         self.unconverged = unconverged
+        #: max live-column preconditioned-residual norm per iteration —
+        #: the stall evidence SolverStalledError carries to the caller
+        self.residual_history = (np.empty(0) if residual_history is None
+                                 else residual_history)
+        self.elapsed_s = elapsed_s
+        #: which budget stopped the solve early ("maxiter" / "wall"),
+        #: or None when every column converged inside its budgets
+        self.exhausted = exhausted
 
     @property
     def converged(self) -> bool:
@@ -419,7 +459,9 @@ def block_cg(matrix: sparse.spmatrix, rhs: np.ndarray,
              precondition: Callable[[np.ndarray], np.ndarray],
              rtol: float = 1e-10, atol: float = 0.0,
              maxiter: Optional[int] = None,
-             x0: Optional[np.ndarray] = None) -> BlockCGResult:
+             x0: Optional[np.ndarray] = None,
+             wall_budget_s: Optional[float] = None,
+             on_stall: str = "return") -> BlockCGResult:
     """Preconditioned CG over an ``(n, k)`` block of right-hand sides.
 
     Every reduction (``alpha``, ``beta``, residual norms) is computed per
@@ -431,12 +473,29 @@ def block_cg(matrix: sparse.spmatrix, rhs: np.ndarray,
     one per column.  Columns that reach ``norm(r) <= max(rtol*norm(b),
     atol)`` are frozen and compacted out of the working set.
 
+    Two budgets bound a stalled solve: ``maxiter`` (iterations) and
+    ``wall_budget_s`` (seconds, checked each iteration — a wedged
+    preconditioner or a pathologically conditioned system cannot hold a
+    request forever).  The budget check cannot change any iterate a
+    finishing solve would produce: it only decides *when to give up*,
+    so converged results are bit-identical with or without budgets.
+
     Returns a :class:`BlockCGResult`; ``unconverged`` holds every column
     whose *final residual* still exceeds its tolerance — whether it hit
-    ``maxiter`` or broke down (``p.Ap <= 0``, which on a non-SPD or
+    a budget or broke down (``p.Ap <= 0``, which on a non-SPD or
     numerically degenerate system can freeze a column far from the
-    solution).  The caller decides whether to raise.
+    solution).  With ``on_stall="return"`` (default) the caller decides
+    whether to raise; ``on_stall="raise"`` raises
+    :class:`SolverStalledError` — residual history attached — the
+    moment a budget expires with unconverged columns.
     """
+    if on_stall not in ("return", "raise"):
+        raise ValueError(
+            f"on_stall must be 'return' or 'raise', got {on_stall!r}")
+    if wall_budget_s is not None and wall_budget_s <= 0:
+        raise ValueError(
+            f"wall_budget_s must be > 0, got {wall_budget_s}")
+    start_time = time.perf_counter()
     columns = np.asarray(rhs, dtype=float)
     squeeze = columns.ndim == 1
     if squeeze:
@@ -465,6 +524,8 @@ def block_cg(matrix: sparse.spmatrix, rhs: np.ndarray,
     p = z.copy()
     rz = _column_dots(r, z)
 
+    history: List[float] = []
+    exhausted: Optional[str] = None
     for iteration in range(1, maxiter + 1):
         if live.size == 0:
             break
@@ -479,7 +540,11 @@ def block_cg(matrix: sparse.spmatrix, rhs: np.ndarray,
         r -= alpha * ap
         iterations[live] = iteration
 
-        done = _column_norms(r) <= tolerance[live]
+        norms = _column_norms(r)
+        # worst live-column residual per iteration: the stall evidence.
+        # Diagnostic only — never feeds back into any iterate.
+        history.append(float(norms.max()))
+        done = norms <= tolerance[live]
         done |= pap <= 0.0
         if done.any():
             finished = live[done]
@@ -493,6 +558,12 @@ def block_cg(matrix: sparse.spmatrix, rhs: np.ndarray,
             rz = rz[keep]
             if live.size == 0:
                 break
+        if (wall_budget_s is not None
+                and time.perf_counter() - start_time >= wall_budget_s):
+            # checked only after the iterate math: giving up early can
+            # never change what a completed column computed
+            exhausted = "wall"
+            break
         z = precondition(r)
         rz_next = _column_dots(r, z)
         beta = rz_next / rz
@@ -503,10 +574,23 @@ def block_cg(matrix: sparse.spmatrix, rhs: np.ndarray,
     if live.size:
         solution[:, live] = x
         residual_full[:, live] = r
+        if exhausted is None:
+            exhausted = "maxiter"
     # judge convergence by the residual every column actually ended with:
     # a column frozen by breakdown (pap <= 0) left `live` without meeting
     # its tolerance and must not be reported as solved
     unconverged = np.flatnonzero(_column_norms(residual_full) > tolerance)
+    elapsed = time.perf_counter() - start_time
+    residual_history = np.asarray(history, dtype=float)
+    if on_stall == "raise" and unconverged.size:
+        raise SolverStalledError(
+            "iterative solve stalled",
+            residual_history=residual_history,
+            iterations=int(iterations.max(initial=0)),
+            elapsed_s=elapsed, unconverged=unconverged,
+            budget=exhausted or "breakdown")
     result_solution = solution[:, 0] if squeeze else solution
     return BlockCGResult(solution=result_solution, iterations=iterations,
-                         unconverged=unconverged)
+                         unconverged=unconverged,
+                         residual_history=residual_history,
+                         elapsed_s=elapsed, exhausted=exhausted)

@@ -35,12 +35,16 @@ import hashlib
 import json
 import os
 import shutil
+import time
 import zipfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["FactorizationStore", "STORE_FORMAT", "STORE_ENV"]
+from repro.faults.points import fault_point, maybe_corrupt_bytes
+
+__all__ = ["FactorizationStore", "STORE_FORMAT", "STORE_ENV",
+           "STALE_STAGING_AGE_S"]
 
 STORE_FORMAT = "lmm-ir-factorization-store-v1"
 
@@ -50,6 +54,26 @@ suite synthesis without threading a path through every call site."""
 
 _META_FILE = "meta.json"
 _PAYLOAD_FILE = "payload.npz"
+
+STALE_STAGING_AGE_S = 3600.0
+"""Staging dirs older than this are swept even if their owner pid is
+alive (pid numbers recycle; a day-old staging dir from a recycled pid
+must not survive forever)."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a staging dir's writer."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
 
 
 def _canonical(identity: dict) -> str:
@@ -76,6 +100,45 @@ class FactorizationStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.swept = len(self.sweep_stale_staging())
+
+    # ------------------------------------------------------------------
+    def sweep_stale_staging(self,
+                            max_age_s: float = STALE_STAGING_AGE_S
+                            ) -> List[str]:
+        """Remove orphaned ``<entry>.tmp.<pid>`` staging directories.
+
+        :meth:`save` stages into a process-private directory and removes
+        it in a ``finally`` — but a process killed mid-save (OOM, SIGKILL,
+        the chaos harness) leaves its staging dir behind forever.  A dir
+        is stale when its writer pid is no longer alive, or when it is
+        older than ``max_age_s`` (pid-recycling guard).  Live writers'
+        dirs are left alone, so concurrent builders are never raced.
+        Returns the removed paths.
+        """
+        removed: List[str] = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:  # store not materialised yet
+            return removed
+        now = time.time()
+        for name in names:
+            base, sep, pid_text = name.rpartition(".tmp.")
+            if not sep or not base or not pid_text.isdigit():
+                continue
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path):
+                continue
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                age = 0.0
+            if _pid_alive(int(pid_text)) and age <= max_age_s:
+                continue  # an in-flight save owns this
+            shutil.rmtree(path, ignore_errors=True)
+            if not os.path.exists(path):
+                removed.append(path)
+        return removed
 
     @staticmethod
     def entry_key(identity: dict) -> str:
@@ -95,6 +158,7 @@ class FactorizationStore:
         directory = self.entry_dir(identity)
         meta_path = os.path.join(directory, _META_FILE)
         try:
+            fault_point("store.load.meta")
             with open(meta_path) as handle:
                 meta = json.load(handle)
         except (OSError, ValueError):
@@ -107,8 +171,21 @@ class FactorizationStore:
             self.misses += 1
             self.corrupt += 1
             return None
+        payload_path = os.path.join(directory, _PAYLOAD_FILE)
         try:
-            with np.load(os.path.join(directory, _PAYLOAD_FILE)) as archive:
+            fault_point("store.load.payload")
+            expected_digest = meta.get("payload_sha256")
+            if expected_digest is not None:
+                # integrity before parsing: a single flipped bit in the
+                # archive (disk rot, injected corruption) is refused
+                # here, never handed to a solver as plausible numbers
+                with open(payload_path, "rb") as handle:
+                    actual = hashlib.sha256(handle.read()).hexdigest()
+                if actual != expected_digest:
+                    self.misses += 1
+                    self.corrupt += 1
+                    return None
+            with np.load(payload_path) as archive:
                 arrays = {key: archive[key] for key in archive.files}
         except (OSError, ValueError, KeyError, EOFError,
                 zipfile.BadZipFile):  # truncated-but-zip-magic payloads
@@ -132,8 +209,22 @@ class FactorizationStore:
         staging = f"{directory}.tmp.{os.getpid()}"
         os.makedirs(staging, exist_ok=True)
         try:
-            np.savez(os.path.join(staging, _PAYLOAD_FILE), **arrays)
-            meta = {"format": STORE_FORMAT, "identity": identity}
+            fault_point("store.save.write")
+            payload_path = os.path.join(staging, _PAYLOAD_FILE)
+            np.savez(payload_path, **arrays)
+            with open(payload_path, "rb") as handle:
+                payload_bytes = handle.read()
+            # the digest covers the *intended* bytes; anything that
+            # mutates the file afterwards (injected bit flips, disk rot)
+            # makes load() refuse the entry
+            digest = hashlib.sha256(payload_bytes).hexdigest()
+            corrupted = maybe_corrupt_bytes("store.save.payload",
+                                            payload_bytes)
+            if corrupted is not payload_bytes:
+                with open(payload_path, "wb") as handle:
+                    handle.write(corrupted)
+            meta = {"format": STORE_FORMAT, "identity": identity,
+                    "payload_sha256": digest}
             # meta.json last: its presence marks a complete entry
             with open(os.path.join(staging, _META_FILE), "w") as handle:
                 json.dump(meta, handle, indent=2, sort_keys=True)
@@ -142,6 +233,7 @@ class FactorizationStore:
                 # old entry cannot be removed, that is an unwritable
                 # store, not a race — raise rather than degrade silently
                 shutil.rmtree(directory)
+            fault_point("store.save.rename")
             try:
                 os.rename(staging, directory)
             except OSError:
@@ -154,7 +246,7 @@ class FactorizationStore:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "corrupt": self.corrupt}
+                "corrupt": self.corrupt, "swept": self.swept}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"FactorizationStore(root={self.root!r}, hits={self.hits}, "

@@ -1,0 +1,38 @@
+"""Deadline arithmetic and the typed expiry error."""
+
+import pytest
+
+from repro.faults.deadline import Deadline, DeadlineExceededError
+
+
+def test_unbounded_deadline_never_expires():
+    deadline = Deadline.after(None)
+    assert deadline.unbounded
+    assert deadline.remaining() is None
+    assert not deadline.expired()
+    deadline.check("anything")  # never raises
+
+
+def test_negative_budget_is_rejected():
+    with pytest.raises(ValueError, match=">= 0"):
+        Deadline.after(-1.0)
+
+
+def test_future_deadline_reports_remaining():
+    deadline = Deadline.after(60.0)
+    assert not deadline.expired()
+    remaining = deadline.remaining()
+    assert 0.0 < remaining <= 60.0
+
+
+def test_expired_deadline_raises_typed_error():
+    deadline = Deadline.after(0.0)
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+    with pytest.raises(DeadlineExceededError, match="solve"):
+        deadline.check("solve")
+
+
+def test_deadline_error_is_a_timeout_error():
+    # callers already catching TimeoutError keep working
+    assert issubclass(DeadlineExceededError, TimeoutError)

@@ -1,0 +1,77 @@
+"""Degradation ledger and policy chains."""
+
+import pytest
+
+from repro.faults.degrade import (
+    DegradationLog,
+    DegradationPolicy,
+    default_log,
+    record,
+    reset_default_log,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_ledger():
+    reset_default_log()
+    yield
+    reset_default_log()
+
+
+class TestDegradationLog:
+    def test_record_and_filter(self):
+        log = DegradationLog()
+        log.record("solver.precond", "mg", "ic", "no coordinates")
+        log.record("infer.engine", "engine", "autograd", "compile failed")
+        assert len(log) == 2
+        solver_events = log.events("solver.precond")
+        assert [e.to_dict() for e in solver_events] == [
+            {"component": "solver.precond", "from": "mg", "to": "ic",
+             "reason": "no coordinates"}]
+
+    def test_counts_aggregate_identical_descents(self):
+        log = DegradationLog()
+        for _ in range(3):
+            log.record("serve.pool", "process-0", "respawn", "died")
+        log.record("solver.precond", "mg", "ic", "x")
+        assert log.counts() == {
+            "serve.pool: process-0->respawn": 3,
+            "solver.precond: mg->ic": 1,
+        }
+
+    def test_clear(self):
+        log = DegradationLog()
+        log.record("a", "b", "c", "d")
+        log.clear()
+        assert len(log) == 0 and log.counts() == {}
+
+    def test_default_ledger_is_shared(self):
+        record("infer.engine", "engine", "autograd", "why")
+        assert default_log().counts() == {
+            "infer.engine: engine->autograd": 1}
+
+
+class TestDegradationPolicy:
+    def test_chain_after_descends_in_order(self):
+        policy = DegradationPolicy()
+        assert policy.chain_after("mg") == ("ic", "jacobi")
+        assert policy.chain_after("ic") == ("jacobi",)
+        assert policy.chain_after("jacobi") == ()
+        assert policy.chain_after("direct") == ()
+
+    def test_custom_chain(self):
+        policy = DegradationPolicy(precond_chain=("ic", "jacobi"))
+        assert policy.chain_after("ic") == ("jacobi",)
+        assert policy.chain_after("mg") == ()  # not in this chain
+
+    def test_unknown_rung_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown preconditioner"):
+            DegradationPolicy(precond_chain=("mg", "turbo"))
+
+    def test_empty_chain_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DegradationPolicy(precond_chain=())
+
+    def test_negative_respawns_rejected(self):
+        with pytest.raises(ValueError, match="max_respawns"):
+            DegradationPolicy(max_respawns=-1)

@@ -1,0 +1,215 @@
+"""FaultPlan determinism: same seed + rules -> same faults, forever."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    corrupt_array,
+    corrupt_bytes,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultRule(point="p", action="explode")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(point="p", probability=1.5)
+
+    def test_rejects_zero_based_call_numbers(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule(point="p", at=(0,))
+
+    def test_explicit_at_fires_exactly_there(self):
+        rule = FaultRule(point="p", at=(2, 5))
+        fires = [call for call in range(1, 8)
+                 if rule.fires_on(seed=1, rule_index=0, call=call)]
+        assert fires == [2, 5]
+
+    def test_probability_is_deterministic(self):
+        rule = FaultRule(point="p", probability=0.3)
+        pattern_a = [rule.fires_on(7, 0, call) for call in range(1, 200)]
+        pattern_b = [rule.fires_on(7, 0, call) for call in range(1, 200)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_probability_depends_on_seed(self):
+        rule = FaultRule(point="p", probability=0.3)
+        pattern_a = [rule.fires_on(7, 0, call) for call in range(1, 200)]
+        pattern_b = [rule.fires_on(8, 0, call) for call in range(1, 200)]
+        assert pattern_a != pattern_b
+
+    def test_dict_roundtrip(self):
+        rule = FaultRule(point="store.save.rename", action="delay",
+                         at=(3,), probability=0.1, seconds=0.5,
+                         max_fires=2, note="slow disk")
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlanVisit:
+    def test_error_rule_raises_on_scheduled_call(self):
+        plan = FaultPlan(seed=0, rules=[FaultRule(point="p", at=(2,))])
+        plan.visit("p")  # call 1: clean
+        with pytest.raises(InjectedFaultError) as exc_info:
+            plan.visit("p")  # call 2: scheduled fault
+        assert exc_info.value.point == "p"
+        assert exc_info.value.call == 2
+        plan.visit("p")  # call 3: clean again
+
+    def test_counters_are_per_point(self):
+        plan = FaultPlan(seed=0, rules=[FaultRule(point="a", at=(1,))])
+        plan.visit("b")  # other points do not advance point "a"
+        with pytest.raises(InjectedFaultError):
+            plan.visit("a")
+        assert plan.calls("a") == 1
+        assert plan.calls("b") == 1
+
+    def test_delay_rule_sleeps_and_continues(self):
+        slept = []
+        plan = FaultPlan(
+            seed=0,
+            rules=[FaultRule(point="p", action="delay", at=(1,),
+                             seconds=0.25)],
+            sleep=slept.append)
+        plan.visit("p")
+        assert slept == [0.25]
+
+    def test_delay_applies_before_error_on_same_call(self):
+        slept = []
+        plan = FaultPlan(
+            seed=0,
+            rules=[FaultRule(point="p", action="delay", at=(1,),
+                             seconds=0.1),
+                   FaultRule(point="p", action="error", at=(1,))],
+            sleep=slept.append)
+        with pytest.raises(InjectedFaultError):
+            plan.visit("p")
+        assert slept == [0.1]
+
+    def test_max_fires_caps_a_probabilistic_rule(self):
+        plan = FaultPlan(seed=3, rules=[
+            FaultRule(point="p", probability=1.0, max_fires=2)])
+        fired = 0
+        for _ in range(10):
+            try:
+                plan.visit("p")
+            except InjectedFaultError:
+                fired += 1
+        assert fired == 2
+
+    def test_log_records_fired_events(self):
+        plan = FaultPlan(seed=0, rules=[FaultRule(point="p", at=(2,),
+                                                  note="hello")])
+        plan.visit("p")
+        with pytest.raises(InjectedFaultError):
+            plan.visit("p")
+        events = plan.log_events()
+        assert events == [FaultEvent(point="p", action="error", call=2,
+                                     rule_index=0, note="hello")]
+
+    def test_corrupts_counts_and_reports(self):
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="p", action="corrupt", at=(2,))])
+        assert plan.corrupts("p") is False
+        assert plan.corrupts("p") is True
+        assert plan.calls("p") == 2
+
+
+class TestScheduleAndReplay:
+    def test_schedule_is_pure_and_deterministic(self):
+        rules = [FaultRule(point="p", probability=0.4),
+                 FaultRule(point="p", at=(3,))]
+        plan_a = FaultPlan(seed=11, rules=rules)
+        plan_b = FaultPlan(seed=11, rules=rules)
+        assert plan_a.schedule("p", 50) == plan_b.schedule("p", 50)
+        assert plan_a.calls("p") == 0  # schedule() touched no counters
+
+    def test_live_visits_match_the_precomputed_schedule(self):
+        rules = [FaultRule(point="p", probability=0.35)]
+        plan = FaultPlan(seed=5, rules=rules)
+        expected = [call for call, _ in plan.schedule("p", 40)]
+        fired = []
+        for call in range(1, 41):
+            try:
+                plan.visit("p")
+            except InjectedFaultError:
+                fired.append(call)
+        assert fired == expected
+
+    def test_other_points_do_not_perturb_a_points_schedule(self):
+        # the property interleaved chaos depends on: firing at "a" is a
+        # function of a's own call numbers only
+        rules = [FaultRule(point="a", probability=0.5),
+                 FaultRule(point="b", probability=0.5)]
+        solo = FaultPlan(seed=9, rules=rules)
+        mixed = FaultPlan(seed=9, rules=rules)
+        fired_solo, fired_mixed = [], []
+        for call in range(1, 30):
+            try:
+                solo.visit("a")
+            except InjectedFaultError:
+                fired_solo.append(call)
+        for call in range(1, 30):
+            try:
+                mixed.visit("b")
+            except InjectedFaultError:
+                pass
+            try:
+                mixed.visit("a")
+            except InjectedFaultError:
+                fired_mixed.append(call)
+        assert fired_solo == fired_mixed
+
+    def test_json_roundtrip_preserves_schedule(self):
+        plan = FaultPlan(seed=21, rules=[
+            FaultRule(point="store.save.rename", at=(1,)),
+            FaultRule(point="serve.predict", probability=0.2,
+                      action="delay", seconds=0.01)])
+        replay = FaultPlan.from_json(plan.to_json())
+        assert replay.seed == plan.seed
+        assert replay.rules == plan.rules
+        for point in ("store.save.rename", "serve.predict"):
+            assert replay.schedule(point, 64) == plan.schedule(point, 64)
+
+    def test_from_json_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError, match="format"):
+            FaultPlan.from_json('{"format": "something-else"}')
+
+    def test_driver_actions_and_events(self):
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="worker", action="kill", at=(1,)),
+            FaultRule(point="p", action="error", at=(1,))])
+        kills = plan.driver_actions("kill")
+        assert [index for index, _ in kills] == [0]
+        plan.record_driver_event("worker", "kill", call=1, rule_index=0)
+        assert plan.log_events()[-1].action == "kill"
+
+
+class TestCorruption:
+    def test_corrupt_bytes_flips_exactly_one_bit(self):
+        data = bytes(range(64))
+        bad = corrupt_bytes(data, seed=4, call=1)
+        assert len(bad) == len(data)
+        diff = [a ^ b for a, b in zip(data, bad) if a != b]
+        assert len(diff) == 1
+        assert bin(diff[0]).count("1") == 1
+
+    def test_corrupt_bytes_is_deterministic(self):
+        data = b"payload" * 10
+        assert corrupt_bytes(data, 4, 2) == corrupt_bytes(data, 4, 2)
+        assert corrupt_bytes(data, 4, 2) != corrupt_bytes(data, 4, 3)
+
+    def test_corrupt_bytes_empty_payload_is_identity(self):
+        assert corrupt_bytes(b"", seed=1, call=1) == b""
+
+    def test_corrupt_array_changes_one_value_at_most(self):
+        array = np.arange(32, dtype=np.float64).reshape(4, 8)
+        bad = corrupt_array(array, seed=2, call=1)
+        assert bad.shape == array.shape and bad.dtype == array.dtype
+        assert np.sum(bad != array) == 1

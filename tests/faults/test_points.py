@@ -1,0 +1,80 @@
+"""Injection-point arming: scoped, exclusive, zero-op when disarmed."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultRule, InjectedFaultError
+from repro.faults.points import (
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+    inject,
+    maybe_corrupt,
+    maybe_corrupt_bytes,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    disarm()
+    yield
+    disarm()
+
+
+def test_disarmed_fault_point_is_a_no_op():
+    assert active_plan() is None
+    fault_point("anything")  # no plan: returns untouched
+
+
+def test_disarmed_corruption_returns_the_same_object():
+    array = np.ones(4)
+    assert maybe_corrupt("p", array) is array
+    data = b"abc"
+    assert maybe_corrupt_bytes("p", data) is data
+
+
+def test_inject_scopes_the_plan():
+    plan = FaultPlan(seed=0, rules=[FaultRule(point="p", at=(1,))])
+    with inject(plan) as armed:
+        assert armed is plan
+        assert active_plan() is plan
+        with pytest.raises(InjectedFaultError):
+            fault_point("p")
+    assert active_plan() is None
+
+
+def test_inject_disarms_even_when_the_body_raises():
+    plan = FaultPlan(seed=0)
+    with pytest.raises(RuntimeError, match="boom"):
+        with inject(plan):
+            raise RuntimeError("boom")
+    assert active_plan() is None
+
+
+def test_plans_do_not_stack():
+    arm(FaultPlan(seed=0))
+    with pytest.raises(RuntimeError, match="already armed"):
+        arm(FaultPlan(seed=1))
+    assert disarm() is not None
+    assert disarm() is None  # idempotent
+
+
+def test_armed_corruption_flips_on_schedule_only():
+    plan = FaultPlan(seed=6, rules=[
+        FaultRule(point="p", action="corrupt", at=(2,))])
+    array = np.arange(16, dtype=np.float64)
+    with inject(plan):
+        first = maybe_corrupt("p", array)
+        second = maybe_corrupt("p", array)
+    np.testing.assert_array_equal(first, array)
+    assert np.sum(second != array) == 1
+
+
+def test_armed_byte_corruption():
+    plan = FaultPlan(seed=6, rules=[
+        FaultRule(point="p", action="corrupt", at=(1,))])
+    data = bytes(range(32))
+    with inject(plan):
+        bad = maybe_corrupt_bytes("p", data)
+    assert bad != data and len(bad) == len(data)

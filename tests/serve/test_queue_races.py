@@ -1,0 +1,124 @@
+"""RequestQueue close/drain races: concurrent submit vs close, pops in
+flight during drain, and submit-after-close refusal."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import (
+    PredictionRequest,
+    PredictionTicket,
+    RequestQueue,
+    ServiceClosedError,
+)
+
+
+def _request(request_id):
+    ticket = PredictionTicket(request_id, f"case-{request_id}")
+    return PredictionRequest(id=request_id, case=None, ticket=ticket)
+
+
+def test_submit_after_close_is_refused():
+    queue = RequestQueue(capacity=4)
+    queue.close()
+    with pytest.raises(ServiceClosedError):
+        queue.submit(_request(0))
+
+
+def test_close_wakes_blocked_pops():
+    queue = RequestQueue(capacity=4)
+    results = []
+
+    def popper():
+        results.append(queue.pop(timeout=30.0))
+
+    threads = [threading.Thread(target=popper) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    queue.close()
+    for thread in threads:
+        thread.join(5.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert results == [None, None, None, None]
+
+
+def test_concurrent_submit_vs_close_every_request_accounted():
+    """Whatever interleaving close() wins, each submit either lands in
+    the queue (poppable) or raises ServiceClosedError — no request is
+    silently dropped."""
+    for trial in range(20):
+        queue = RequestQueue(capacity=64)
+        accepted, refused = [], []
+        barrier = threading.Barrier(9)
+
+        def submitter(base):
+            barrier.wait()
+            for offset in range(4):
+                request = _request(base + offset)
+                try:
+                    queue.submit(request)
+                    accepted.append(request.id)
+                except ServiceClosedError:
+                    refused.append(request.id)
+
+        def closer():
+            barrier.wait()
+            queue.close()
+
+        threads = [threading.Thread(target=submitter, args=(base * 10,))
+                   for base in range(8)]
+        threads.append(threading.Thread(target=closer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        drained = []
+        while True:
+            request = queue.pop(timeout=0.0)
+            if request is None:
+                break
+            drained.append(request.id)
+        assert sorted(drained) == sorted(accepted)
+        assert len(accepted) + len(refused) == 32
+
+
+def test_drain_pending_with_inflight_pops_no_duplicates():
+    """drain_pending racing concurrent pops must partition the requests:
+    every submitted request is seen exactly once."""
+    for trial in range(10):
+        queue = RequestQueue(capacity=256)
+        total = 64
+        for index in range(total):
+            queue.submit(_request(index))
+        popped, drained = [], []
+        start = threading.Event()
+
+        def popper():
+            start.wait()
+            while True:
+                request = queue.pop(timeout=0.0)
+                if request is None:
+                    return
+                popped.append(request.id)
+
+        poppers = [threading.Thread(target=popper) for _ in range(4)]
+        for thread in poppers:
+            thread.start()
+        start.set()
+        drained = [request.id for request in queue.drain_pending()]
+        for thread in poppers:
+            thread.join(5.0)
+        seen = popped + drained
+        assert sorted(seen) == list(range(total))
+        assert len(seen) == len(set(seen))
+        assert len(queue) == 0
+
+
+def test_close_then_drain_then_pop_is_empty():
+    queue = RequestQueue(capacity=8)
+    for index in range(3):
+        queue.submit(_request(index))
+    queue.close()
+    assert len(queue.drain_pending()) == 3
+    assert queue.pop(timeout=0.0) is None
+    assert queue.closed

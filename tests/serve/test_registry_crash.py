@@ -1,0 +1,108 @@
+"""Registry index crash windows: an injected failure anywhere in the
+stage-then-replace write must leave the previous index fully readable
+and no staging debris behind."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, InjectedFaultError, inject
+from repro.serve.registry import ModelRegistry
+
+
+def _state(seed):
+    rng = np.random.default_rng(seed)
+    return {"w": rng.standard_normal(8), "b": rng.standard_normal(2)}
+
+
+def _no_index_debris(root):
+    return not any(name.startswith("registry.json.tmp.")
+                   for name in os.listdir(root))
+
+
+class TestPublishCrashWindows:
+    def test_rename_crash_mid_publish_keeps_previous_index(self, tmp_path):
+        root = str(tmp_path)
+        registry = ModelRegistry(root)
+        registry.publish("v1", _state(1))
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="registry.index.rename", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                registry.publish("v2", _state(2), activate=True)
+        # previous index intact: v1 still active, v2 never visible
+        fresh = ModelRegistry(root)
+        assert fresh.active == "v1"
+        assert fresh.names() == ["v1"]
+        np.testing.assert_array_equal(
+            fresh.load_state("v1")["w"], _state(1)["w"])
+        assert _no_index_debris(root)
+
+    def test_write_crash_mid_publish_keeps_previous_index(self, tmp_path):
+        root = str(tmp_path)
+        registry = ModelRegistry(root)
+        registry.publish("v1", _state(1))
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="registry.index.write", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                registry.publish("v2", _state(2), activate=True)
+        fresh = ModelRegistry(root)
+        assert fresh.active == "v1" and fresh.names() == ["v1"]
+        assert _no_index_debris(root)
+
+    def test_crashed_publish_retries_cleanly(self, tmp_path):
+        root = str(tmp_path)
+        registry = ModelRegistry(root)
+        registry.publish("v1", _state(1))
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="registry.index.rename", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                registry.publish("v2", _state(2), activate=True)
+            registry.publish("v2", _state(2), activate=True)  # call 2: ok
+        assert registry.active == "v2"
+        np.testing.assert_array_equal(
+            registry.load_state("v2")["w"], _state(2)["w"])
+
+    def test_first_publish_crash_leaves_no_index_at_all(self, tmp_path):
+        root = str(tmp_path / "reg")
+        registry = ModelRegistry(root)
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="registry.index.rename", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                registry.publish("v1", _state(1))
+        assert not os.path.exists(os.path.join(root, "registry.json"))
+        fresh = ModelRegistry(root)
+        assert fresh.names() == [] and fresh.active is None
+
+
+class TestActivateCrashWindows:
+    def test_rename_crash_mid_activate_keeps_active_pointer(self, tmp_path):
+        root = str(tmp_path)
+        registry = ModelRegistry(root)
+        registry.publish("v1", _state(1))
+        registry.publish("v2", _state(2))
+        assert registry.active == "v1"
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="registry.index.rename", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                registry.activate("v2")
+        assert ModelRegistry(root).active == "v1"
+        assert _no_index_debris(root)
+
+    def test_activate_retry_after_crash_succeeds(self, tmp_path):
+        root = str(tmp_path)
+        registry = ModelRegistry(root)
+        registry.publish("v1", _state(1))
+        registry.publish("v2", _state(2))
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="registry.index.write", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                registry.activate("v2")
+            registry.activate("v2")
+        assert registry.active == "v2"

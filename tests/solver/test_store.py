@@ -51,13 +51,13 @@ class TestStoreHitMiss:
     def test_cold_build_misses_then_populates(self, tmp_path):
         store = FactorizationStore(str(tmp_path))
         cold = _case(store)
-        assert store.stats() == {"hits": 0, "misses": 1, "corrupt": 0}
+        assert store.stats() == {"hits": 0, "misses": 1, "corrupt": 0, "swept": 0}
         assert os.path.isdir(store.entry_dir(
             _template_store_identity(SPEC, SETTINGS)))
         # second process (fresh in-memory cache, fresh store handle): hit
         reopened = FactorizationStore(str(tmp_path))
         warm = _case(reopened)
-        assert reopened.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+        assert reopened.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "swept": 0}
         _assert_bundles_identical(cold, warm)
 
     def test_hit_is_bit_identical_to_storeless_build(self, tmp_path):
@@ -109,12 +109,12 @@ class TestCorruptionRefusal:
 
         damaged = FactorizationStore(str(tmp_path))
         rebuilt = _case(damaged)
-        assert damaged.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+        assert damaged.stats() == {"hits": 0, "misses": 1, "corrupt": 1, "swept": 0}
         _assert_bundles_identical(reference, rebuilt)
         # the rebuild overwrote the entry: next lookup hits again
         healed = FactorizationStore(str(tmp_path))
         _case(healed)
-        assert healed.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+        assert healed.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "swept": 0}
 
     def test_zip_magic_truncation_is_refused(self, tmp_path):
         """A payload truncated *after* the zip magic raises BadZipFile
@@ -158,7 +158,7 @@ class TestCorruptionRefusal:
     def test_missing_entry_is_plain_miss(self, tmp_path):
         store = FactorizationStore(str(tmp_path))
         assert store.load({"anything": 1}) is None
-        assert store.stats() == {"hits": 0, "misses": 1, "corrupt": 0}
+        assert store.stats() == {"hits": 0, "misses": 1, "corrupt": 0, "swept": 0}
 
     def test_format_constant_stamped(self, tmp_path):
         store = FactorizationStore(str(tmp_path))

@@ -1,0 +1,148 @@
+"""Fault injection against the FactorizationStore: crash-window renames,
+bit-flipped payloads, and the stale staging-dir sweep."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, InjectedFaultError, inject
+from repro.solver.store import STALE_STAGING_AGE_S, FactorizationStore
+
+IDENTITY = {"template": "chaos", "rows": 8}
+
+
+def _arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"g_values": rng.standard_normal(32),
+            "currents": rng.standard_normal(8)}
+
+
+class TestInjectedStoreFaults:
+    def test_save_write_fault_propagates(self, tmp_path):
+        store = FactorizationStore(str(tmp_path))
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="store.save.write", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                store.save(IDENTITY, _arrays())
+        # the staging dir was cleaned by save()'s finally
+        assert not any(".tmp." in name for name in os.listdir(tmp_path))
+        assert store.load(IDENTITY) is None
+
+    def test_save_rename_fault_leaves_no_entry_but_next_save_works(
+            self, tmp_path):
+        store = FactorizationStore(str(tmp_path))
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="store.save.rename", at=(1,))])
+        with inject(plan):
+            with pytest.raises(InjectedFaultError):
+                store.save(IDENTITY, _arrays())
+            assert store.load(IDENTITY) is None  # no partial entry
+            assert store.save(IDENTITY, _arrays()) is True  # call 2: clean
+            loaded = store.load(IDENTITY)
+        np.testing.assert_array_equal(loaded["g_values"],
+                                      _arrays()["g_values"])
+
+    def test_corrupted_payload_is_refused_on_load(self, tmp_path):
+        store = FactorizationStore(str(tmp_path))
+        plan = FaultPlan(seed=5, rules=[
+            FaultRule(point="store.save.payload", action="corrupt",
+                      at=(1,))])
+        with inject(plan):
+            assert store.save(IDENTITY, _arrays()) is True
+            assert store.load(IDENTITY) is None  # digest mismatch
+        assert store.corrupt == 1
+        # rebuilding overwrites the poisoned entry outside the plan
+        assert store.save(IDENTITY, _arrays()) is True
+        assert store.load(IDENTITY) is not None
+
+    def test_load_faults_degrade_to_misses(self, tmp_path):
+        store = FactorizationStore(str(tmp_path))
+        assert store.save(IDENTITY, _arrays()) is True
+        # counters are per point: the first load dies at the meta read,
+        # so the payload point sees its call #1 only on the second load
+        plan = FaultPlan(seed=0, rules=[
+            FaultRule(point="store.load.meta", at=(1,)),
+            FaultRule(point="store.load.payload", at=(1,))])
+        with inject(plan):
+            assert store.load(IDENTITY) is None  # meta read fault
+            assert store.load(IDENTITY) is None  # payload read fault
+            loaded = store.load(IDENTITY)        # clean hit
+        assert loaded is not None
+        assert store.hits == 1 and store.misses == 2
+
+    def test_legacy_entry_without_digest_still_loads(self, tmp_path):
+        store = FactorizationStore(str(tmp_path))
+        assert store.save(IDENTITY, _arrays()) is True
+        meta_path = os.path.join(store.entry_dir(IDENTITY), "meta.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        del meta["payload_sha256"]
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        assert store.load(IDENTITY) is not None
+
+
+class TestStaleStagingSweep:
+    def _staging_dir(self, root, pid, age_s=0.0):
+        key = FactorizationStore.entry_key(IDENTITY)
+        path = os.path.join(str(root), f"{key}.tmp.{pid}")
+        os.makedirs(path)
+        with open(os.path.join(path, "payload.npz"), "wb") as handle:
+            handle.write(b"partial")
+        if age_s:
+            stamp = os.path.getmtime(path) - age_s
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_dead_pid_staging_is_swept_on_init(self, tmp_path):
+        # a pid far beyond pid_max can never be alive
+        orphan = self._staging_dir(tmp_path, pid=2 ** 22 + 12345)
+        store = FactorizationStore(str(tmp_path))
+        assert not os.path.exists(orphan)
+        assert store.swept == 1
+        assert store.stats()["swept"] == 1
+
+    def test_live_recent_staging_is_preserved(self, tmp_path):
+        ours = self._staging_dir(tmp_path, pid=os.getpid())
+        store = FactorizationStore(str(tmp_path))
+        assert os.path.exists(ours)
+        assert store.swept == 0
+
+    def test_ancient_staging_is_swept_even_if_pid_alive(self, tmp_path):
+        # pid-recycling guard: our own pid, but mtime a day ago
+        ancient = self._staging_dir(tmp_path, pid=os.getpid(),
+                                    age_s=STALE_STAGING_AGE_S * 24)
+        store = FactorizationStore(str(tmp_path))
+        assert not os.path.exists(ancient)
+        assert store.swept == 1
+
+    def test_completed_entries_and_foreign_files_are_untouched(
+            self, tmp_path):
+        store = FactorizationStore(str(tmp_path))
+        assert store.save(IDENTITY, _arrays()) is True
+        stray = os.path.join(str(tmp_path), "registry.json.tmp.123")
+        with open(stray, "w") as handle:
+            handle.write("{}")  # a *file*, not a staging dir
+        swept = FactorizationStore(str(tmp_path)).swept
+        assert swept == 0
+        assert os.path.exists(stray)
+        assert store.load(IDENTITY) is not None
+
+    def test_crash_simulation_full_cycle(self, tmp_path):
+        """A save killed mid-write (simulated via injected rename fault
+        plus a suppressed cleanup) leaves a staging dir; a later store
+        init sweeps it and the entry is rebuilt cleanly."""
+        store = FactorizationStore(str(tmp_path))
+        key = FactorizationStore.entry_key(IDENTITY)
+        # simulate the crash artifact directly: a dead writer's leftovers
+        crashed = self._staging_dir(tmp_path, pid=2 ** 22 + 99,
+                                    age_s=STALE_STAGING_AGE_S * 2)
+        assert os.path.exists(crashed)
+        fresh = FactorizationStore(str(tmp_path))
+        assert fresh.swept == 1
+        assert fresh.save(IDENTITY, _arrays()) is True
+        assert fresh.load(IDENTITY) is not None
+        assert os.path.isdir(os.path.join(str(tmp_path), key))
