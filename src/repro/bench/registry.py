@@ -59,6 +59,10 @@ DEFAULT_ENTRIES: Tuple[BenchEntry, ...] = (
                script="bench_serving.py",
                tier="gating", kind="parity", marker="not perf",
                depends=("inference.parity",)),
+    BenchEntry(name="ingest.parity", bench="ingestion",
+               script="bench_ingestion.py",
+               tier="gating", kind="parity", marker="not perf",
+               depends=("solver.parity",)),
     BenchEntry(name="serving.chaos", bench="chaos",
                script="bench_chaos.py",
                tier="perf", kind="parity",
@@ -75,6 +79,10 @@ DEFAULT_ENTRIES: Tuple[BenchEntry, ...] = (
                script="bench_serving.py",
                tier="perf", kind="perf", marker="perf",
                depends=("serving.parity",)),
+    BenchEntry(name="ingest.perf", bench="ingestion",
+               script="bench_ingestion.py",
+               tier="perf", kind="perf", marker="perf",
+               depends=("ingest.parity",)),
     BenchEntry(name="suite_synthesis.perf", bench="suite_synthesis",
                script="bench_suite_synthesis.py",
                tier="perf", kind="perf", depends=("solver.parity",)),

@@ -18,8 +18,10 @@ from repro.spice.netlist import Netlist
 
 __all__ = ["CaseBundle", "CASE_KINDS"]
 
-CASE_KINDS = ("fake", "real", "hidden")
-"""The three distributions in the paper's data mix (§IV-A)."""
+CASE_KINDS = ("fake", "real", "hidden", "ingested")
+"""The three distributions in the paper's data mix (§IV-A), plus
+``"ingested"`` — cases adapted from foreign SPICE decks by the
+:mod:`repro.ingest` front door rather than synthesized."""
 
 
 @dataclass

@@ -50,12 +50,18 @@ class IRDropDataset:
         fake_times: int = PAPER_FAKE_OVERSAMPLE,
         real_times: int = PAPER_REAL_OVERSAMPLE,
         hidden_times: int = 0,
+        ingested_times: int = 0,
     ) -> "IRDropDataset":
-        """Replicate case references by kind (paper's scheme by default)."""
+        """Replicate case references by kind (paper's scheme by default).
+
+        Ingested (foreign-deck) cases default to zero repeats: mixing
+        real netlists into training is an explicit choice, not a side
+        effect of them being present in a suite.
+        """
         if min(fake_times, real_times) < 1:
             raise ValueError("oversampling multipliers must be >= 1")
         multipliers = {"fake": fake_times, "real": real_times,
-                       "hidden": hidden_times}
+                       "hidden": hidden_times, "ingested": ingested_times}
         expanded: List[CaseBundle] = []
         for case in cases:
             expanded.extend([case] * multipliers[case.kind])
@@ -233,6 +239,11 @@ class ShardedSuiteDataset:
         can score a streamed suite without ever materialising it.
         """
         return self.cases_of_kind("hidden")
+
+    @property
+    def ingested_cases(self) -> List[LazyCase]:
+        """Foreign-deck cases, mirroring ``BenchmarkSuite.ingested_cases``."""
+        return self.cases_of_kind("ingested")
 
     @property
     def training_cases(self) -> List[LazyCase]:

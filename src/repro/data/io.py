@@ -34,6 +34,11 @@ for shard builds) next to the case directories it references::
         {"index": 0, "name": "fake_123", "kind": "fake",
          "path": "case00000_fake_123"},
         ...
+      ],
+      "quarantined": [
+        {"deck": "/path/to/bad.sp", "name": "bad", "code": "non-pdn",
+         "reason": "..."},
+        ...
       ]
     }
 
@@ -42,6 +47,14 @@ spec list, so shard manifests merge into exactly the order a single-shard
 build produces; ``path`` is relative to the manifest's own directory.
 The JSON is dumped with sorted keys and no timestamps, so manifests of
 equivalent builds are bit-identical.
+
+``quarantined`` records foreign decks handed to a mixed build
+(``ingest_decks=``) that the ingestion front door refused or could not
+turn into a training case: each carries the deck's path, the typed
+error code (:mod:`repro.ingest.diagnostics` — or ``"solve-only"`` for a
+deck that solved but could not be rasterized into maps) and the
+human-readable reason.  A quarantined deck never aborts the build and
+never perturbs the generated cases — it is accounted, not fatal.
 """
 
 from __future__ import annotations
@@ -63,7 +76,7 @@ from repro.spice.writer import write_spice_file
 __all__ = [
     "write_case", "read_case", "case_is_complete",
     "CHANNEL_FILES", "FLOAT_ROUNDTRIP_RTOL",
-    "CaseRef", "SuiteManifest", "MANIFEST_FORMAT",
+    "CaseRef", "QuarantineRecord", "SuiteManifest", "MANIFEST_FORMAT",
     "manifest_filename", "write_manifest", "read_manifest", "merge_manifests",
     "discover_manifests",
 ]
@@ -171,6 +184,31 @@ class CaseRef:
         return os.path.join(root, self.path)
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One foreign deck a mixed suite build refused to turn into a case.
+
+    ``code`` is the typed :class:`repro.ingest.diagnostics.IngestError`
+    code that refused the deck (``"parse"``, ``"non-pdn"``, ...) or
+    ``"solve-only"`` for a deck that solved but yielded no rasterizable
+    training case.
+    """
+
+    deck: str    # the deck path handed to the build
+    name: str    # the case name it would have had
+    code: str    # typed refusal code
+    reason: str  # human-readable explanation
+
+    def to_dict(self) -> dict:
+        return {"deck": self.deck, "name": self.name,
+                "code": self.code, "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuarantineRecord":
+        return cls(deck=payload["deck"], name=payload["name"],
+                   code=payload["code"], reason=payload["reason"])
+
+
 @dataclass
 class SuiteManifest:
     """Index of a (possibly partial) streamed suite build."""
@@ -181,6 +219,7 @@ class SuiteManifest:
     shard: Optional[Tuple[int, int]] = None
     root: str = "."  # directory the ref paths are relative to (not serialized)
     format: str = MANIFEST_FORMAT
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
     @property
     def expected_cases(self) -> int:
@@ -189,8 +228,12 @@ class SuiteManifest:
 
     @property
     def complete(self) -> bool:
-        """Whether the refs cover every index of the full suite."""
-        return {ref.index for ref in self.refs} == set(range(self.expected_cases))
+        """Whether the refs cover every index of the full *generated*
+        suite (ingested extras ride above the expected range and
+        quarantined decks never produce refs, so neither affects
+        completeness)."""
+        generated = {ref.index for ref in self.refs if ref.kind != "ingested"}
+        return generated == set(range(self.expected_cases))
 
     def case_dir(self, ref: CaseRef) -> str:
         return ref.resolve(self.root)
@@ -215,6 +258,7 @@ class SuiteManifest:
                  "kind": ref.kind, "path": ref.path}
                 for ref in self.refs
             ],
+            "quarantined": [record.to_dict() for record in self.quarantined],
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -290,6 +334,8 @@ def read_manifest(path: str) -> SuiteManifest:
         shard=None if shard is None else (int(shard["index"]),
                                           int(shard["count"])),
         root=os.path.dirname(os.path.abspath(path)) or ".",
+        quarantined=[QuarantineRecord.from_dict(entry)
+                     for entry in payload.get("quarantined", [])],
     )
 
 
@@ -336,9 +382,17 @@ def merge_manifests(manifests: Sequence[SuiteManifest],
         path = os.path.relpath(ref.resolve(root), out_root)
         merged_refs.append(CaseRef(index=ref.index, name=ref.name,
                                    kind=ref.kind, path=path))
+    quarantined: List[QuarantineRecord] = []
+    seen_decks = set()
+    for manifest in manifests:
+        for record in manifest.quarantined:
+            if record.deck not in seen_decks:
+                seen_decks.add(record.deck)
+                quarantined.append(record)
     merged = SuiteManifest(suite=dict(head.suite),
                            settings=dict(head.settings),
-                           refs=merged_refs, shard=None, root=out_root)
+                           refs=merged_refs, shard=None, root=out_root,
+                           quarantined=quarantined)
     if out_path:
         write_manifest(merged, out_path)
     return merged

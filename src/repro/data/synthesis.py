@@ -44,6 +44,7 @@ import numpy as np
 from repro.data.case import CaseBundle
 from repro.data.io import (
     CaseRef,
+    QuarantineRecord,
     SuiteManifest,
     case_is_complete,
     manifest_filename,
@@ -122,18 +123,29 @@ class SynthesisSettings:
 
 @dataclass
 class BenchmarkSuite:
-    """A train/test data split in the paper's layout."""
+    """A train/test data split in the paper's layout.
+
+    ``ingested_cases`` holds cases adapted from foreign SPICE decks by
+    the :mod:`repro.ingest` front door (``ingest_decks=`` on
+    :func:`make_suite` / :func:`stream_suite`); ``quarantined`` accounts
+    for every deck that was handed in but refused.  Ingested cases ride
+    alongside the generated mix — they are not silently added to
+    ``training_cases`` (callers opt in explicitly).
+    """
 
     fake_cases: List[CaseBundle] = field(default_factory=list)
     real_cases: List[CaseBundle] = field(default_factory=list)
     hidden_cases: List[CaseBundle] = field(default_factory=list)
+    ingested_cases: List[CaseBundle] = field(default_factory=list)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
     @property
     def training_cases(self) -> List[CaseBundle]:
         return self.fake_cases + self.real_cases
 
     def all_cases(self) -> List[CaseBundle]:
-        return self.fake_cases + self.real_cases + self.hidden_cases
+        return (self.fake_cases + self.real_cases + self.hidden_cases
+                + self.ingested_cases)
 
 
 def _fake_config(rng: np.random.Generator, settings: SynthesisSettings) -> PDNConfig:
@@ -739,6 +751,43 @@ def _synthesize_group_to_dir(
     return refs
 
 
+def _ingest_suite_decks(
+    decks: Sequence[str], mode: str,
+) -> Tuple[List[CaseBundle], List[QuarantineRecord]]:
+    """Adapt foreign decks for a mixed suite build.
+
+    Each deck either becomes a ``kind="ingested"`` :class:`CaseBundle`
+    or a :class:`~repro.data.io.QuarantineRecord` carrying the typed
+    refusal — never an exception, and never any effect on the generated
+    cases (deck ingestion consumes no suite RNG state).
+    """
+    # local import: repro.ingest pulls in the model stack, which the
+    # synthesis layer must not depend on at import time
+    from repro.ingest.diagnostics import IngestError
+    from repro.ingest.pipeline import ingest_deck
+
+    cases: List[CaseBundle] = []
+    quarantined: List[QuarantineRecord] = []
+    for deck in decks:
+        path = os.fspath(deck)
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            result = ingest_deck(path, mode=mode)
+        except IngestError as error:
+            quarantined.append(QuarantineRecord(
+                deck=path, name=name, code=error.code, reason=str(error)))
+            continue
+        if result.case is None:
+            reason = (result.report.degradations[-1]["reason"]
+                      if result.report.degradations
+                      else "deck solved but produced no rasterizable case")
+            quarantined.append(QuarantineRecord(
+                deck=path, name=name, code="solve-only", reason=reason))
+            continue
+        cases.append(result.case)
+    return cases, quarantined
+
+
 def make_suite(
     num_fake: int = 8,
     num_real: int = 4,
@@ -748,6 +797,8 @@ def make_suite(
     workers: int = 1,
     cases_per_template: int = 1,
     store_dir: Optional[str] = None,
+    ingest_decks: Optional[Sequence[str]] = None,
+    ingest_mode: str = "tolerant",
 ) -> BenchmarkSuite:
     """Generate a full in-memory benchmark suite (train fake+real, test hidden).
 
@@ -765,6 +816,14 @@ def make_suite(
     repeat builds skip template setup; results are bit-identical with or
     without it.
 
+    ``ingest_decks`` mixes foreign SPICE decks into the build through the
+    :mod:`repro.ingest` front door: each deck becomes a
+    ``kind="ingested"`` case in ``suite.ingested_cases``, or a
+    :class:`~repro.data.io.QuarantineRecord` in ``suite.quarantined``
+    when it is refused.  A bad deck never aborts the build, and the
+    generated cases are bit-identical with or without the decks (deck
+    ingestion consumes no suite RNG state).
+
     For suites too large to hold in memory, use :func:`stream_suite`.
     """
     settings = settings or SynthesisSettings()
@@ -780,10 +839,17 @@ def make_suite(
         case_lists = [_synthesize_group(task) for task in tasks]
     cases = [case for case_list in case_lists for case in case_list]
 
+    ingested: List[CaseBundle] = []
+    quarantined: List[QuarantineRecord] = []
+    if ingest_decks:
+        ingested, quarantined = _ingest_suite_decks(ingest_decks, ingest_mode)
+
     return BenchmarkSuite(
         fake_cases=cases[:num_fake],
         real_cases=cases[num_fake:num_fake + num_real],
         hidden_cases=cases[num_fake + num_real:],
+        ingested_cases=ingested,
+        quarantined=quarantined,
     )
 
 
@@ -799,6 +865,8 @@ def stream_suite(
     cases_per_template: int = 1,
     resume: bool = False,
     store_dir: Optional[str] = None,
+    ingest_decks: Optional[Sequence[str]] = None,
+    ingest_mode: str = "tolerant",
 ) -> SuiteManifest:
     """Build a suite (or one shard of it) straight to disk.
 
@@ -830,8 +898,22 @@ def stream_suite(
     are loaded from disk instead of being regenerated and re-assembled.
     The store changes cost only — manifests and case files are
     bit-identical with or without it.
+
+    ``ingest_decks`` mixes foreign SPICE decks into the build (see
+    :func:`make_suite`): surviving decks are written as
+    ``kind="ingested"`` case directories with indices *above* the
+    generated range, refused decks land in the manifest's
+    ``quarantined`` records, and the generated case files stay
+    bit-identical with or without the decks.  Sharded builds refuse
+    ``ingest_decks`` — decks are not part of the deterministic spec
+    partition; ingest them in the merge step instead.
     """
     settings = settings or SynthesisSettings()
+    if ingest_decks and shard is not None:
+        raise ValueError(
+            "ingest_decks cannot be combined with shard=: foreign decks "
+            "are not part of the sharded spec partition; build the shards "
+            "without decks and ingest into the merged suite instead")
     suite_ident = {
         "seed": int(seed),
         "num_fake": int(num_fake),
@@ -875,12 +957,24 @@ def stream_suite(
         ref_lists = [_synthesize_group_to_dir(task) for task in tasks]
     refs = [ref for ref_list in ref_lists for ref in ref_list]
 
+    quarantined: List[QuarantineRecord] = []
+    if ingest_decks:
+        num_generated = num_fake + num_real + num_hidden
+        ingested, quarantined = _ingest_suite_decks(ingest_decks, ingest_mode)
+        for offset, bundle in enumerate(ingested):
+            index = num_generated + offset
+            dirname = _case_dirname(index, bundle.name)
+            write_case(bundle, os.path.join(out_dir, dirname))
+            refs.append(CaseRef(index=index, name=bundle.name,
+                                kind=bundle.kind, path=dirname))
+
     manifest = SuiteManifest(
         suite=suite_ident,
         settings=_settings_payload(settings),
         refs=refs,
         shard=shard_ident,
         root=os.path.abspath(out_dir),
+        quarantined=quarantined,
     )
     write_manifest(manifest, manifest_path)
     return manifest
@@ -896,11 +990,14 @@ def _settings_payload(settings: SynthesisSettings) -> Dict[str, object]:
 
 def suite_from_manifest(manifest: SuiteManifest) -> BenchmarkSuite:
     """Eagerly load a streamed suite back into the in-memory layout."""
-    by_kind: Dict[str, List[CaseBundle]] = {"fake": [], "real": [], "hidden": []}
+    by_kind: Dict[str, List[CaseBundle]] = {
+        "fake": [], "real": [], "hidden": [], "ingested": []}
     for ref in sorted(manifest.refs, key=lambda r: r.index):
         by_kind[ref.kind].append(manifest.load(ref))
     return BenchmarkSuite(
         fake_cases=by_kind["fake"],
         real_cases=by_kind["real"],
         hidden_cases=by_kind["hidden"],
+        ingested_cases=by_kind["ingested"],
+        quarantined=list(manifest.quarantined),
     )

@@ -38,6 +38,9 @@ point                        site
 ``serve.dispatch``           scheduler, just before pool.submit
 ``serve.predict``            worker, before running a micro-batch
 ``worker``                   (kill; driver-executed) process workers
+``ingest.read``              ingest_deck file read (inside retry loop)
+``ingest.parse``             ingest pipeline, before parse_spice
+``ingest.rasterize``         ingest pipeline, before feature/golden raster
 ===========================  =========================================
 """
 

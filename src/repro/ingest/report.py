@@ -1,0 +1,116 @@
+"""The machine-readable outcome of one ingestion attempt.
+
+Whether a deck became a prediction, degraded to a solve-only answer, or
+was refused, the pipeline leaves behind one :class:`IngestReport`: the
+deck's provenance, the parse diagnostics, the classifier's verdict, any
+degradation rungs descended, per-stage timings, and either the result
+numbers or the typed refusal.  ``python -m repro.ingest`` prints it as
+JSON; quarantine records in suite manifests embed its error code.
+
+The JSON schema is versioned (:data:`REPORT_FORMAT`) so downstream
+tooling can detect drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.spice.parser import Diagnostic
+
+__all__ = ["IngestReport", "REPORT_FORMAT", "INGEST_OUTCOMES"]
+
+REPORT_FORMAT = "lmm-ir-ingest-report-v1"
+
+INGEST_OUTCOMES = ("predicted", "solved", "refused")
+"""Terminal states of an ingestion attempt: full pipeline product,
+solve-only degradation product, or typed refusal."""
+
+
+@dataclass
+class IngestReport:
+    """Everything one ingestion attempt learned, success or refusal.
+
+    Built incrementally by :func:`repro.ingest.pipeline.ingest_deck`;
+    on refusal the partially filled report rides on the raised
+    :class:`~repro.ingest.diagnostics.IngestError` (``error.report``),
+    already stamped with the error code — callers serialize it instead
+    of formatting a traceback.
+    """
+
+    deck: str                              # path (or "<text>") of the deck
+    mode: str = "tolerant"                 # parse mode used
+    outcome: str = "refused"               # one of INGEST_OUTCOMES
+    error: Optional[Dict[str, str]] = None  # {"code", "message"} on refusal
+    classification: Optional[dict] = None  # DeckClassification.to_dict()
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    degradations: List[dict] = field(default_factory=list)
+    netlist: Optional[dict] = None         # element/node counts
+    solve: Optional[dict] = None           # golden-solve numbers
+    prediction: Optional[dict] = None      # model prediction numbers
+    timings_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome != "refused"
+
+    @property
+    def error_code(self) -> Optional[str]:
+        return None if self.error is None else self.error.get("code")
+
+    def refuse(self, code: str, message: str) -> "IngestReport":
+        """Stamp the refusal (idempotent: the first refusal wins)."""
+        if self.error is None:
+            self.outcome = "refused"
+            self.error = {"code": code, "message": message}
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "format": REPORT_FORMAT,
+            "deck": self.deck,
+            "mode": self.mode,
+            "outcome": self.outcome,
+            "error": self.error,
+            "classification": self.classification,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "degradations": list(self.degradations),
+            "netlist": self.netlist,
+            "solve": self.solve,
+            "prediction": self.prediction,
+            "timings_s": dict(self.timings_s),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          default=float)
+
+    def save(self, path: str) -> None:
+        """Write the JSON report to ``path`` (directories created)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IngestReport":
+        if payload.get("format") != REPORT_FORMAT:
+            raise ValueError(
+                f"not an ingest report (format={payload.get('format')!r}, "
+                f"expected {REPORT_FORMAT!r})")
+        return cls(
+            deck=payload["deck"],
+            mode=payload.get("mode", "tolerant"),
+            outcome=payload.get("outcome", "refused"),
+            error=payload.get("error"),
+            classification=payload.get("classification"),
+            diagnostics=[Diagnostic.from_dict(d)
+                         for d in payload.get("diagnostics", [])],
+            degradations=list(payload.get("degradations", [])),
+            netlist=payload.get("netlist"),
+            solve=payload.get("solve"),
+            prediction=payload.get("prediction"),
+            timings_s=dict(payload.get("timings_s", {})),
+        )

@@ -3,13 +3,27 @@
 The contest PDN model (paper §II-A) contains exactly three element types:
 resistors forming the grid and vias, current sources modelling instance
 power draw, and voltage sources modelling the power pads / bumps.
+
+Values are validated to be *finite* as well as sign-correct: a ``nan`` or
+``inf`` smuggled in by a malformed deck used to sail through the sign
+checks (``nan <= 0`` is false) and only blow up deep inside the solver.
+``spice_line`` renders values with :func:`repr` — Python's shortest
+round-trip float format — so writer output re-parses to the exact same
+float64, which the parser/writer round-trip property and the ingestion
+solve-parity gates rely on.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["Resistor", "CurrentSource", "VoltageSource"]
+__all__ = ["Resistor", "CurrentSource", "VoltageSource", "format_value"]
+
+
+def format_value(value: float) -> str:
+    """Shortest exact text form of a float (``repr``): re-parses bit-equal."""
+    return repr(float(value))
 
 
 @dataclass(frozen=True)
@@ -24,13 +38,16 @@ class Resistor:
     def __post_init__(self):
         if not self.name or self.name[0].lower() != "r":
             raise ValueError(f"resistor name must start with R, got {self.name!r}")
+        if not math.isfinite(self.resistance):
+            raise ValueError(
+                f"resistance must be finite, got {self.resistance}")
         if self.resistance <= 0:
             raise ValueError(f"resistance must be positive, got {self.resistance}")
         if self.node_a == self.node_b:
             raise ValueError(f"resistor {self.name} shorts node {self.node_a} to itself")
 
     def spice_line(self) -> str:
-        return f"{self.name} {self.node_a} {self.node_b} {self.resistance:.6g}"
+        return f"{self.name} {self.node_a} {self.node_b} {format_value(self.resistance)}"
 
 
 @dataclass(frozen=True)
@@ -44,11 +61,13 @@ class CurrentSource:
     def __post_init__(self):
         if not self.name or self.name[0].lower() != "i":
             raise ValueError(f"current source name must start with I, got {self.name!r}")
+        if not math.isfinite(self.value):
+            raise ValueError(f"current draw must be finite, got {self.value}")
         if self.value < 0:
             raise ValueError(f"current draw must be non-negative, got {self.value}")
 
     def spice_line(self) -> str:
-        return f"{self.name} {self.node} 0 {self.value:.6g}"
+        return f"{self.name} {self.node} 0 {format_value(self.value)}"
 
 
 @dataclass(frozen=True)
@@ -62,8 +81,10 @@ class VoltageSource:
     def __post_init__(self):
         if not self.name or self.name[0].lower() != "v":
             raise ValueError(f"voltage source name must start with V, got {self.name!r}")
+        if not math.isfinite(self.value):
+            raise ValueError(f"supply voltage must be finite, got {self.value}")
         if self.value <= 0:
             raise ValueError(f"supply voltage must be positive, got {self.value}")
 
     def spice_line(self) -> str:
-        return f"{self.name} {self.node} 0 {self.value:.6g}"
+        return f"{self.name} {self.node} 0 {format_value(self.value)}"

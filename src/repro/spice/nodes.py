@@ -12,7 +12,8 @@ import re
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["NodeName", "GROUND", "parse_node", "format_node", "DBU_PER_UM"]
+__all__ = ["NodeName", "GROUND", "parse_node", "try_parse_node",
+           "format_node", "DBU_PER_UM"]
 
 GROUND = "0"
 
@@ -54,12 +55,25 @@ class NodeName:
 
 
 def parse_node(name: str) -> Optional[NodeName]:
-    """Parse a node string; returns ``None`` for ground or foreign names."""
+    """Parse a node string; ``None`` for ground, raises on foreign names."""
     if name == GROUND:
         return None
+    node = try_parse_node(name)
+    if node is None:
+        raise ValueError(f"unrecognised node name {name!r}")
+    return node
+
+
+def try_parse_node(name: str) -> Optional[NodeName]:
+    """Parse a node string; ``None`` for ground *or* foreign names.
+
+    The tolerant twin of :func:`parse_node` — ingestion uses it to ask
+    "does this deck carry grid coordinates?" without turning the answer
+    into an exception.
+    """
     match = _NODE_RE.match(name)
     if match is None:
-        raise ValueError(f"unrecognised node name {name!r}")
+        return None
     return NodeName(
         net=int(match.group("net")),
         layer=int(match.group("layer")),

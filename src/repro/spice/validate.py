@@ -34,14 +34,22 @@ class ValidationReport:
             raise ValueError("netlist validation failed:\n" + "\n".join(self.errors))
 
 
-def validate_netlist(netlist: Netlist) -> ValidationReport:
-    """Run all structural checks and collect errors/warnings."""
+def validate_netlist(netlist: Netlist,
+                     require_grid_names: bool = True) -> ValidationReport:
+    """Run all structural checks and collect errors/warnings.
+
+    ``require_grid_names=False`` relaxes the contest node-name check for
+    foreign (coordinate-free) netlists: the ingestion path validates
+    solvability — supplies, connectivity, unique names — while treating
+    the name format as a classification concern, not an error.
+    """
     report = ValidationReport()
     _check_nonempty(netlist, report)
     if report.errors:
         return report
     _check_unique_names(netlist, report)
-    _check_node_names(netlist, report)
+    if require_grid_names:
+        _check_node_names(netlist, report)
     _check_sources_on_resistive_nodes(netlist, report)
     _check_connectivity(netlist, report)
     return report

@@ -1,4 +1,12 @@
-"""SPICE netlist emission (round-trips with :mod:`repro.spice.parser`)."""
+"""SPICE netlist emission (round-trips with :mod:`repro.spice.parser`).
+
+The round trip is *exact*: element values render via ``repr`` (shortest
+float form, see :func:`repro.spice.elements.format_value`), so
+``parse_spice(write_spice(netlist))`` reproduces every element —
+names, nodes and float64 values — bit-for-bit.  The parser/writer
+property tests and the ingestion golden-solve parity gate both lean on
+this.
+"""
 
 from __future__ import annotations
 

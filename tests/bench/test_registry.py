@@ -36,7 +36,8 @@ class TestDefaultEntries:
         gating = [e for e in DEFAULT_ENTRIES if e.tier == "gating"]
         # the blocking CI tier is the numeric parity gates only
         assert _names(gating) == ["table1.parity", "solver.parity",
-                                  "inference.parity", "serving.parity"]
+                                  "inference.parity", "serving.parity",
+                                  "ingest.parity"]
         assert all(e.kind == "parity" for e in gating)
 
     def test_bad_tier_rejected(self):

@@ -1,0 +1,137 @@
+"""Quarantine semantics of mixed suite builds.
+
+A suite built with ``ingest_decks=`` must (a) adopt every servable deck
+as a ``kind="ingested"`` case, (b) quarantine every refused deck with
+its typed reason in the manifest, and (c) leave the generated cases
+bit-identical to a build without any decks — a bad deck never perturbs
+the science.
+"""
+
+import filecmp
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ShardedSuiteDataset
+from repro.data.io import QuarantineRecord, read_manifest
+from repro.data.synthesis import make_suite, stream_suite, suite_from_manifest
+
+FIXTURES = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "spice"
+
+GOOD = str(FIXTURES / "pdn_small.sp")
+ANALOG = str(FIXTURES / "comparator.sp")
+COORD_FREE = str(FIXTURES / "coordinate_free.sp")
+BROKEN = str(FIXTURES / "malformed" / "truncated.sp")
+
+SUITE = dict(num_fake=1, num_real=1, num_hidden=1, seed=0)
+
+
+class TestMakeSuite:
+    @pytest.fixture(scope="class")
+    def mixed(self):
+        return make_suite(ingest_decks=[GOOD, ANALOG, COORD_FREE, BROKEN],
+                          **SUITE)
+
+    def test_survivors_and_quarantine_accounting(self, mixed):
+        assert [case.name for case in mixed.ingested_cases] == ["pdn_small"]
+        assert mixed.ingested_cases[0].kind == "ingested"
+        by_name = {record.name: record for record in mixed.quarantined}
+        assert by_name.keys() == {"comparator", "coordinate_free",
+                                  "truncated"}
+        assert by_name["comparator"].code == "non-pdn"
+        assert by_name["coordinate_free"].code == "solve-only"
+        assert by_name["truncated"].code == "validate"
+        for record in mixed.quarantined:
+            assert record.reason  # every refusal says why
+
+    def test_generated_cases_bit_identical(self, mixed):
+        clean = make_suite(**SUITE)
+        for ours, theirs in zip(
+                mixed.fake_cases + mixed.real_cases + mixed.hidden_cases,
+                clean.fake_cases + clean.real_cases + clean.hidden_cases):
+            assert ours.name == theirs.name
+            assert np.array_equal(ours.ir_map, theirs.ir_map)
+
+    def test_split_membership(self, mixed):
+        assert mixed.ingested_cases[0] in mixed.all_cases()
+        assert mixed.ingested_cases[0] not in mixed.training_cases
+
+
+class TestStreamSuite:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("mixed")
+        manifest = stream_suite(str(out), ingest_decks=[GOOD, ANALOG],
+                                **SUITE)
+        return out, manifest
+
+    def test_manifest_complete_and_quarantined(self, built):
+        out, manifest = built
+        assert manifest.complete
+        kinds = sorted((ref.index, ref.kind) for ref in manifest.refs)
+        assert [kind for _, kind in kinds] == \
+            ["fake", "real", "hidden", "ingested"]
+        assert [record.code for record in manifest.quarantined] == \
+            ["non-pdn"]
+
+    def test_quarantine_survives_manifest_round_trip(self, built):
+        out, _ = built
+        again = read_manifest(str(out / "manifest.json"))
+        assert again.complete
+        assert [record.to_dict() for record in again.quarantined] == \
+            [{"deck": ANALOG, "name": "comparator", "code": "non-pdn",
+              "reason": again.quarantined[0].reason}]
+
+    def test_suite_from_manifest_restores_everything(self, built):
+        out, manifest = built
+        suite = suite_from_manifest(read_manifest(str(out /
+                                                      "manifest.json")))
+        assert [case.name for case in suite.ingested_cases] == ["pdn_small"]
+        assert suite.ingested_cases[0].kind == "ingested"
+        assert [record.code for record in suite.quarantined] == ["non-pdn"]
+
+    def test_generated_case_files_byte_identical(self, built,
+                                                 tmp_path_factory):
+        out, manifest = built
+        clean = tmp_path_factory.mktemp("clean")
+        clean_manifest = stream_suite(str(clean), **SUITE)
+        for ref in clean_manifest.refs:
+            ours = out / ref.path
+            theirs = clean / ref.path
+            match, mismatch, errors = filecmp.cmpfiles(
+                str(ours), str(theirs),
+                common=sorted(p.name for p in theirs.iterdir()),
+                shallow=False)
+            assert not mismatch and not errors
+
+    def test_sharded_build_refuses_decks(self, tmp_path):
+        with pytest.raises(ValueError, match="shard"):
+            stream_suite(str(tmp_path), shard=(0, 2),
+                         ingest_decks=[GOOD], **SUITE)
+
+
+class TestDatasetFlow:
+    def test_lazy_dataset_sees_ingested_kind(self, tmp_path):
+        stream_suite(str(tmp_path), ingest_decks=[GOOD], **SUITE)
+        dataset = ShardedSuiteDataset(str(tmp_path / "manifest.json"))
+        assert dataset.kind_counts()["ingested"] == 1
+        assert [case.name for case in dataset.ingested_cases] == \
+            ["pdn_small"]
+        # ingested cases are loadable and carry their golden raster
+        assert dataset.ingested_cases[0].ir_map.ndim == 2
+
+    def test_oversampling_defaults_exclude_ingested(self, tmp_path):
+        stream_suite(str(tmp_path), ingest_decks=[GOOD], **SUITE)
+        dataset = ShardedSuiteDataset(str(tmp_path / "manifest.json"))
+        default = dataset.with_oversampling()
+        assert default.kind_counts().get("ingested", 0) == 0
+        opted_in = dataset.with_oversampling(ingested_times=3)
+        assert opted_in.kind_counts()["ingested"] == 3
+
+
+class TestQuarantineRecord:
+    def test_dict_round_trip(self):
+        record = QuarantineRecord(deck="a/b.sp", name="b", code="parse",
+                                  reason="why")
+        assert QuarantineRecord.from_dict(record.to_dict()) == record

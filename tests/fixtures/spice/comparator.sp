@@ -1,0 +1,25 @@
+* comparator - StrongARM latch comparator (analog deck, not a PDN).
+* The ingest front door must refuse this with a typed non-pdn reason,
+* citing the transistor cards and structural directives as evidence.
+.model nch nmos (level=1 vto=0.45 kp=180u)
+.model pch pmos (level=1 vto=-0.4 kp=90u)
+.subckt strongarm clk vip vin outp outn vdd vss
+Mtail tail clk vss vss nch w=4u l=0.18u
+Min1 dip vip tail vss nch w=2u l=0.18u
+Min2 din vin tail vss nch w=2u l=0.18u
+Mlatn1 outn outp dip vss nch w=1u l=0.18u
+Mlatn2 outp outn din vss nch w=1u l=0.18u
+Mlatp1 outn outp vdd vdd pch w=2u l=0.18u
+Mlatp2 outp outn vdd vdd pch w=2u l=0.18u
+Mrst1 dip clk vdd vdd pch w=1u l=0.18u
+Mrst2 din clk vdd vdd pch w=1u l=0.18u
+.ends
+Xcmp clk vip vin outp outn vdd 0 strongarm
+Vdd vdd 0 1.8
+Vclk clk 0 pulse(0 1.8 0 50p 50p 450p 1n)
+Vip vip 0 0.9
+Vin vin 0 0.905
+Cload1 outp 0 5f
+Cload2 outn 0 5f
+.tran 10p 20n
+.end

@@ -1,0 +1,16 @@
+* coordinate_free - a solvable PDN ladder with human node names.
+* No contest n{net}_m{layer}_{x}_{y} coordinates anywhere, so the
+* ingest pipeline can solve it (IC-preconditioned path) but cannot
+* rasterize feature maps: expected outcome is "solved" with a
+* raster -> solve-only degradation rung.
+Vsupply vdd_pad 0 1.2
+Rpad vdd_pad vdd_rail 0.05
+Rseg1 vdd_rail tap1 0.2
+Rseg2 tap1 tap2 0.2
+Rseg3 tap2 tap3 0.2
+Rseg4 tap3 tap4 0.2
+Iload1 tap1 0 0.01
+Iload2 tap2 0 0.015
+Iload3 tap3 0 0.02
+Iload4 tap4 0 0.005
+.end

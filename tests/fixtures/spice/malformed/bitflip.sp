@@ -1,0 +1,5 @@
+* bitflip - one flipped bit (0x31 -> 0x71) turned the supply value to junk
+R1 n1_m1_0_0 n1_m1_2000_0 0.4
+R2 n1_m1_2000_0 n1_m1_0_2000 0.4
+I1 n1_m1_2000_0 0 0.002
+V1 n1_m1_0_2000 0 q.05

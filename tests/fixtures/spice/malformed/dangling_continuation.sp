@@ -1,0 +1,2 @@
++ n1_m1_2000_0 0.4
+* the first card of this deck was lost; only its continuation survived

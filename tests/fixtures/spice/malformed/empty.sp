@@ -1,0 +1,4 @@
+* empty - comments only
+
+* nothing to see here
+.end

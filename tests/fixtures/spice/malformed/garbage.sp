@@ -1,0 +1,4 @@
+this file is not a spice deck at all
+it was pasted from an email thread about lunch plans
+nobody checked the attachment before uploading it
+see you thursday

@@ -1,0 +1,4 @@
+* no_supply - grid and loads are fine but the pad cards are missing
+R1 n1_m1_0_0 n1_m1_2000_0 0.4
+R2 n1_m1_2000_0 n1_m1_4000_0 0.4
+I1 n1_m1_2000_0 0 0.002

@@ -1,0 +1,6 @@
+* nonfinite - nan/inf values from a broken extractor; these used to
+* sail through sign checks and detonate inside the solver
+R1 n1_m1_0_0 n1_m1_2000_0 nan
+R2 n1_m1_2000_0 n1_m1_4000_0 inf
+I1 n1_m1_0_0 0 0.003
+V1 n1_m1_4000_0 0 1.05

@@ -1,0 +1,5 @@
+* truncated - the transfer died mid-deck; the supply cards never arrived
+R1 n1_m1_0_0 n1_m1_2000_0 0.4
+R2 n1_m1_2000_0 n1_m1_4000_0 0.4
+I1 n1_m1_0_0 0 0.003
+R3 n1_m1_4000_0 n1_

@@ -1,0 +1,6 @@
+* wrong_tokens - every card is missing or duplicating fields
+R1 n1_m1_0_0 0.4
+R2 n1_m1_0_0
+I1 n1_m1_0_0
+V1 0
+R n1_m1_0_0 n1_m1_2000_0

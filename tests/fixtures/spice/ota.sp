@@ -1,0 +1,22 @@
+* ota - two-stage Miller-compensated OTA (analog deck, not a PDN).
+* Mixed-signal teams mail these in; the front door must refuse them
+* with a typed non-pdn reason instead of a solver traceback.
+.model nch nmos (level=1 vto=0.5 kp=200u lambda=0.02)
+.model pch pmos (level=1 vto=-0.5 kp=100u lambda=0.04)
+Mbias nbias nbias 0 0 nch w=5u l=1u
+Mtail ntail nbias 0 0 nch w=10u l=1u
+Min1 nd1 vinp ntail 0 nch w=20u l=0.5u
+Min2 nd2 vinn ntail 0 nch w=20u l=0.5u
+Mld1 nd1 nd1 vdd vdd pch w=10u l=1u
+Mld2 nd2 nd1 vdd vdd pch w=10u l=1u
+Mout vout nd2 vdd vdd pch w=40u l=0.5u
+Msink vout nbias 0 0 nch w=20u l=1u
+Cc nd2 vout 2p
+Cl vout 0 10p
+Ibias nbias 0 dc 20u
+Vdd vdd 0 1.8
+Vinp vinp 0 0.9
+Vinn vinn 0 0.9
+.op
+.ac dec 10 1 1g
+.end

@@ -1,0 +1,27 @@
+* pdn_small - hand-written contest-style PDN grid fixture
+* 3x3 grid on m1 (2 um pitch), one m4 strap feeding the centre via.
+* Exercises the tolerant front door: a benign .temp directive, a
+* continuation line, and an inline $ comment.
+.temp 25
+R1 n1_m1_0_0 n1_m1_2000_0 0.4
+R2 n1_m1_2000_0 n1_m1_4000_0 0.4
+R3 n1_m1_0_2000 n1_m1_2000_2000 0.4
+R4 n1_m1_2000_2000 n1_m1_4000_2000 0.4
+R5 n1_m1_0_4000 n1_m1_2000_4000 0.4
+R6 n1_m1_2000_4000 n1_m1_4000_4000 0.4
+R7 n1_m1_0_0 n1_m1_0_2000 0.4
+R8 n1_m1_0_2000 n1_m1_0_4000 0.4
+R9 n1_m1_2000_0 n1_m1_2000_2000 0.4
+R10 n1_m1_2000_2000 n1_m1_2000_4000 0.4
+R11 n1_m1_4000_0 n1_m1_4000_2000 0.4
+R12 n1_m1_4000_2000 n1_m1_4000_4000 0.4
+* via stack m1 -> m4 at die centre, split across a continuation line
+Rvia n1_m1_2000_2000
++ n1_m4_2000_2000 0.05
+Rstrap n1_m4_2000_2000 n1_m4_4000_2000 0.02 $ top-metal strap
+I1 n1_m1_0_0 0 0.003
+I2 n1_m1_4000_0 0 0.002
+I3 n1_m1_0_4000 0 0.004
+I4 n1_m1_2000_4000 0 0.0025
+V1 n1_m4_4000_2000 0 1.05
+.end

@@ -1,0 +1,19 @@
+"""Shared fixtures for the ingestion front-door tests."""
+
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "spice"
+
+
+@pytest.fixture(scope="session")
+def fixtures_dir() -> pathlib.Path:
+    """Directory of hand-written foreign SPICE decks."""
+    return FIXTURES
+
+
+@pytest.fixture(scope="session")
+def corpus_dir() -> pathlib.Path:
+    """The malformed-deck gauntlet."""
+    return FIXTURES / "malformed"

@@ -1,0 +1,92 @@
+"""The malformed-deck gauntlet: every bad deck is refused with a typed
+reason, and ``python -m repro.ingest`` never shows a traceback."""
+
+import json
+
+import pytest
+
+from repro.ingest import IngestError, ingest_deck
+from repro.ingest.__main__ import main
+
+#: deck -> the IngestError code its refusal must carry
+EXPECTED_CODES = {
+    "binary.sp": "read",
+    "bitflip.sp": "validate",
+    "dangling_continuation.sp": "parse",
+    "empty.sp": "parse",
+    "garbage.sp": "parse",
+    "negative_resistor.sp": "validate",
+    "no_supply.sp": "validate",
+    "nonfinite.sp": "validate",
+    "truncated.sp": "validate",
+    "wrong_tokens.sp": "parse",
+}
+
+
+def test_corpus_and_expectations_stay_in_sync(corpus_dir):
+    on_disk = {p.name for p in corpus_dir.iterdir() if p.is_file()}
+    assert on_disk == set(EXPECTED_CODES)
+
+
+@pytest.mark.parametrize("deck,code", sorted(EXPECTED_CODES.items()))
+def test_typed_refusal(corpus_dir, deck, code):
+    with pytest.raises(IngestError) as info:
+        ingest_deck(str(corpus_dir / deck))
+    assert info.value.code == code
+    assert info.value.report is not None
+    assert info.value.report.error_code == code
+
+
+def test_zero_untyped_escapes(corpus_dir):
+    """The hard PR gate: nothing in the corpus raises outside the
+    taxonomy."""
+    escapes = []
+    for deck in sorted(corpus_dir.iterdir()):
+        try:
+            ingest_deck(str(deck))
+        except IngestError:
+            pass
+        except Exception as error:  # pragma: no cover - the failure mode
+            escapes.append((deck.name, type(error).__name__, str(error)))
+    assert escapes == []
+
+
+class TestCLI:
+    def test_corpus_mode_reports_and_passes(self, corpus_dir, capsys):
+        assert main(["--corpus", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.strip().splitlines()[-1])
+        assert summary == {"decks": len(EXPECTED_CODES),
+                           "refused": len(EXPECTED_CODES),
+                           "ingested": 0, "untyped_escapes": 0}
+        assert "refused [read]" in out
+
+    def test_single_deck_refusal_exits_2_with_report(self, corpus_dir,
+                                                     capsys):
+        code = main([str(corpus_dir / "garbage.sp"), "--no-predict"])
+        captured = capsys.readouterr()
+        assert code == 2
+        report = json.loads(captured.out)
+        assert report["outcome"] == "refused"
+        assert report["error"]["code"] == "parse"
+        assert "Traceback" not in captured.err
+
+    def test_single_deck_solved_exits_0(self, fixtures_dir, capsys,
+                                        tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([str(fixtures_dir / "pdn_small.sp"), "--no-predict",
+                     "--report", str(report_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["outcome"] == "solved"
+        assert report["classification"]["category"] == "pdn-grid"
+
+    def test_mixed_directory_counts_ingested(self, fixtures_dir, capsys):
+        # fixtures_dir holds 2 analog + 1 coordinate-free + 1 grid deck:
+        # corpus mode refuses the analog pair and ingests the rest
+        assert main(["--corpus", str(fixtures_dir)]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.strip().splitlines()[-1])
+        assert summary["refused"] == 2
+        assert summary["ingested"] == 2
+        assert summary["untyped_escapes"] == 0

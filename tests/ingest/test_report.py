@@ -1,0 +1,78 @@
+"""IngestReport: the machine-readable outcome contract."""
+
+import json
+
+import pytest
+
+from repro.ingest.report import INGEST_OUTCOMES, REPORT_FORMAT, IngestReport
+from repro.spice.parser import Diagnostic
+
+
+def _sample() -> IngestReport:
+    report = IngestReport(deck="decks/foo.sp")
+    report.outcome = "solved"
+    report.classification = {"category": "pdn-grid"}
+    report.diagnostics.append(Diagnostic(
+        severity="warning", code="directive-skipped",
+        message=".temp skipped", line_number=3, line=".temp 25"))
+    report.degradations.append(
+        {"component": "ingest.pipeline", "from": "raster",
+         "to": "solve-only", "reason": "no coordinates"})
+    report.netlist = {"nodes": 5, "resistors": 4,
+                      "current_sources": 2, "voltage_sources": 1}
+    report.solve = {"vdd": 1.05, "worst_drop": 0.01}
+    report.timings_s = {"parse": 0.001, "solve": 0.002}
+    return report
+
+
+class TestRefusal:
+    def test_fresh_report_is_refused_until_proven_otherwise(self):
+        assert IngestReport(deck="x").outcome == "refused"
+        assert not IngestReport(deck="x").ok
+
+    def test_refuse_stamps_code_and_message(self):
+        report = IngestReport(deck="x").refuse("parse", "went wrong")
+        assert report.error_code == "parse"
+        assert report.error["message"] == "went wrong"
+        assert report.outcome == "refused"
+
+    def test_first_refusal_wins(self):
+        report = IngestReport(deck="x")
+        report.refuse("parse", "first")
+        report.refuse("solve", "second")
+        assert report.error_code == "parse"
+        assert report.error["message"] == "first"
+
+    def test_refusal_overrides_earlier_success(self):
+        report = _sample()
+        assert report.ok
+        report.refuse("rasterize", "boom")
+        assert report.outcome == "refused"
+        assert not report.ok
+
+
+class TestSerialization:
+    def test_outcomes_enum(self):
+        assert set(INGEST_OUTCOMES) == {"predicted", "solved", "refused"}
+
+    def test_to_json_is_valid_versioned_json(self):
+        payload = json.loads(_sample().to_json())
+        assert payload["format"] == REPORT_FORMAT
+        assert payload["outcome"] == "solved"
+        assert payload["diagnostics"][0]["code"] == "directive-skipped"
+
+    def test_dict_round_trip(self):
+        original = _sample()
+        again = IngestReport.from_dict(original.to_dict())
+        assert again.to_dict() == original.to_dict()
+        assert again.diagnostics[0] == original.diagnostics[0]
+
+    def test_from_dict_rejects_foreign_format(self):
+        with pytest.raises(ValueError):
+            IngestReport.from_dict({"format": "something-else", "deck": "x"})
+
+    def test_save_writes_json_file(self, tmp_path):
+        path = tmp_path / "nested" / "report.json"
+        _sample().save(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["deck"] == "decks/foo.sp"

@@ -1,0 +1,42 @@
+"""The contest-data round trip, as a test: write -> read -> ingest
+-> golden parity.  Drives the same ``roundtrip_case`` the example
+script (``examples/contest_data_roundtrip.py``) runs, so the example
+cannot silently rot."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.data.synthesis import synthesize_case
+
+EXAMPLE = (pathlib.Path(__file__).resolve().parents[2] / "examples"
+           / "contest_data_roundtrip.py")
+
+
+@pytest.fixture(scope="module")
+def example():
+    spec = importlib.util.spec_from_file_location("contest_roundtrip",
+                                                  EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("kind,seed", [("fake", 41), ("real", 42)])
+def test_write_read_ingest_parity(example, tmp_path, kind, seed):
+    case = synthesize_case(kind, seed=seed)
+    read_mae, bit_equal, map_diff, result = example.roundtrip_case(
+        case, str(tmp_path / case.name))
+    assert read_mae < example.PARITY_TOL_V
+    assert bit_equal, "written deck must re-solve to the same bits"
+    assert map_diff < example.PARITY_TOL_V
+    assert result.report.outcome == "solved"
+    assert result.case.kind == "ingested"
+    assert result.report.classification["category"] == "pdn-grid"
+
+
+def test_example_constants_match_synthesis(example):
+    from repro.data.synthesis import SynthesisSettings
+    assert example.GOLDEN_SMOOTH_SIGMA == \
+        SynthesisSettings().golden_smooth_sigma

@@ -1,0 +1,147 @@
+"""Tolerant-mode parsing: skips with diagnostics where strict raises,
+plus exact-value round-trip properties the ingestion parity gates rely
+on."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.netlist import Netlist
+from repro.spice.parser import (
+    BENIGN_DIRECTIVES,
+    STRUCTURAL_DIRECTIVES,
+    SpiceParseError,
+    parse_spice,
+)
+from repro.spice.writer import write_spice
+
+
+def tolerant(text):
+    diagnostics = []
+    netlist = parse_spice(text, mode="tolerant", diagnostics=diagnostics)
+    return netlist, diagnostics
+
+
+class TestLineScanner:
+    def test_continuation_lines_joined(self):
+        net = parse_spice("R1 a\n+ b\n+ 2.0\nV1 a 0 1.0\n")
+        assert net.resistors[0].node_b == "b"
+        assert net.resistors[0].resistance == 2.0
+
+    @pytest.mark.parametrize("marker", ["$", ";"])
+    def test_inline_comments_stripped(self, marker):
+        net = parse_spice(f"R1 a b 1.0 {marker} the strap\nV1 a 0 1.0\n")
+        assert net.resistors[0].resistance == 1.0
+
+    def test_dangling_continuation_tolerant(self):
+        net, diagnostics = tolerant("+ b 2.0\nR1 a b 1.0\nV1 a 0 1.0\n")
+        assert len(net.resistors) == 1
+        assert diagnostics[0].code == "dangling-continuation"
+
+    def test_dangling_continuation_strict(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice("+ b 2.0\n")
+
+
+class TestTolerantSkips:
+    def test_unsupported_elements_skipped_with_diagnostic(self):
+        net, diagnostics = tolerant(
+            "R1 a b 1.0\nC1 a 0 1p\nM1 d g s b nch\nV1 a 0 1.0\n")
+        assert len(net.resistors) == 1
+        codes = [d.code for d in diagnostics]
+        assert codes.count("element-skipped") == 2
+        assert {d.element for d in diagnostics} == {"c", "m"}
+
+    def test_benign_directive_recorded(self):
+        assert ".temp" in BENIGN_DIRECTIVES
+        net, diagnostics = tolerant(".temp 25\nR1 a b 1\nV1 a 0 1\n")
+        assert diagnostics[0].code == "directive-skipped"
+        assert diagnostics[0].severity == "warning"
+        assert len(net.resistors) == 1
+
+    def test_structural_directive_has_own_code(self):
+        assert ".subckt" in STRUCTURAL_DIRECTIVES
+        _, diagnostics = tolerant(".subckt amp in out\n.ends\n")
+        assert diagnostics[0].code == "directive-structural"
+
+    def test_extra_tokens_noted_value_kept(self):
+        net, diagnostics = tolerant("R1 a b 1.5 tc=0.1\nV1 a 0 1\n")
+        assert net.resistors[0].resistance == 1.5
+        assert any(d.code == "extra-tokens" and d.severity == "note"
+                   for d in diagnostics)
+
+    def test_dc_keyword_accepted(self):
+        net, _ = tolerant("I1 a 0 dc 0.5\nR1 a b 1\nV1 b 0 1\n")
+        assert net.current_sources[0].value == 0.5
+
+    def test_non_ground_source_skipped(self):
+        net, diagnostics = tolerant("I1 a b 0.5\nR1 a b 1\nV1 a 0 1\n")
+        assert len(net.current_sources) == 0
+        assert diagnostics[0].code == "non-ground-source"
+
+    def test_strict_raises_on_each(self):
+        for text in ("C1 a 0 1p\n", ".temp 25\n", ".subckt amp\n",
+                     "R1 a b 1.5 tc=0.1\n", "I1 a b 0.5\n"):
+            with pytest.raises(SpiceParseError):
+                parse_spice(text)
+
+
+class TestTypedValueRejection:
+    """nan/inf/negative values must never be accepted silently."""
+
+    @pytest.mark.parametrize("card", [
+        "R1 a b nan", "R1 a b inf", "R1 a b -2.0", "R1 a b 0",
+        "I1 a 0 nan", "I1 a 0 -0.5", "V1 a 0 nan", "V1 a 0 -1.0",
+    ])
+    def test_tolerant_rejects_with_bad_value(self, card):
+        net, diagnostics = tolerant(card + "\n")
+        assert net.num_nodes == 0  # the bad card was not admitted
+        assert any(d.code == "bad-value" for d in diagnostics)
+
+    @pytest.mark.parametrize("card", ["R1 a b nan", "R1 a b -2.0",
+                                      "V1 a 0 inf"])
+    def test_strict_raises_bad_value(self, card):
+        with pytest.raises(SpiceParseError) as info:
+            parse_spice(card + "\n")
+        assert info.value.code == "bad-value"
+
+
+@given(
+    resistances=st.lists(
+        st.floats(min_value=1e-12, max_value=1e12, allow_nan=False),
+        min_size=1, max_size=16),
+    currents=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1, max_size=8),
+    vdd=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_writer_output_reparses_to_equal_netlist(resistances, currents, vdd):
+    """The PR's parity keystone: ``parse(write(net))`` returns the same
+    elements with *bit-equal* float64 values (repr round-trip), in both
+    parse modes."""
+    net = Netlist("prop")
+    for i, r in enumerate(resistances):
+        net.add_resistor(f"n1_m1_{i}_0", f"n1_m1_{i + 1}_0", r)
+    for i, c in enumerate(currents):
+        net.add_current_source(f"n1_m1_{i}_0", c)
+    net.add_voltage_source(f"n1_m1_{len(resistances)}_0", vdd)
+
+    text = write_spice(net)
+    for mode in ("strict", "tolerant"):
+        diagnostics = []
+        again = parse_spice(text, name="prop", mode=mode,
+                            diagnostics=diagnostics)
+        assert [(r.name, r.node_a, r.node_b, r.resistance)
+                for r in again.resistors] == \
+               [(r.name, r.node_a, r.node_b, r.resistance)
+                for r in net.resistors]
+        assert [(s.name, s.node, s.value) for s in again.current_sources] \
+            == [(s.name, s.node, s.value) for s in net.current_sources]
+        assert [(s.name, s.node, s.value) for s in again.voltage_sources] \
+            == [(s.name, s.node, s.value) for s in net.voltage_sources]
+        assert not [d for d in diagnostics if d.severity == "error"]
+        for r in again.resistors:
+            assert math.isfinite(r.resistance) and r.resistance > 0
