@@ -91,13 +91,23 @@ def test_served_predictions_bit_identical_to_direct(bench_suite):
         coalesced = [service.submit(case) for case in cases]
         batched_results = [ticket.result(timeout=300)
                            for ticket in coalesced]
+        health = service.health()
+        stats = service.stats()
     direct = spec.build()
     for case, result, batched in zip(cases, results, batched_results):
         reference, _ = direct.predict_case(case)
         assert np.array_equal(result.prediction, reference), case.name
         assert np.array_equal(batched.prediction, reference), case.name
     assert any(result.batch_size > 1 for result in batched_results)
+    # the self-healing layer rides along without touching a bit: every
+    # fulfilment passed the integrity guard, nothing tripped the breaker
+    assert health.state == "healthy"
+    assert stats["guard"]["checked"] == len(cases) * 2
+    assert stats["guard"]["refused"] == 0
+    assert stats["breaker"]["state"] == "closed"
+    assert stats["integrity_refused"] == 0
     REC.check("served_bit_identical_to_direct", True)
+    REC.check("selfheal_surfaces_clean_under_parity_load", True)
 
 
 def test_backpressure_rejects_deterministically(bench_suite):

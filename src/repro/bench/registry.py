@@ -63,6 +63,10 @@ DEFAULT_ENTRIES: Tuple[BenchEntry, ...] = (
                script="bench_ingestion.py",
                tier="gating", kind="parity", marker="not perf",
                depends=("solver.parity",)),
+    BenchEntry(name="serving.selfheal", bench="selfheal",
+               script="bench_selfheal.py",
+               tier="gating", kind="parity",
+               depends=("serving.parity",)),
     BenchEntry(name="serving.chaos", bench="chaos",
                script="bench_chaos.py",
                tier="perf", kind="parity",

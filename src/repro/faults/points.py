@@ -37,6 +37,11 @@ point                        site
 ``solver.solve``             FactorizedPDN.solve_vector entry
 ``serve.dispatch``           scheduler, just before pool.submit
 ``serve.predict``            worker, before running a micro-batch
+``serve.heartbeat``          HealthMonitor.beat — an error rule here
+                             swallows worker heartbeats (forged stall)
+``serve.guard``              (corrupt) prediction on the fulfilment
+                             path, between the worker's checksum and
+                             the integrity guard's re-verification
 ``worker``                   (kill; driver-executed) process workers
 ``ingest.read``              ingest_deck file read (inside retry loop)
 ``ingest.parse``             ingest pipeline, before parse_spice

@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 
 import numpy as np
@@ -34,6 +35,39 @@ from repro.train.seed import seed_everything
 
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
+
+
+def install_signal_handlers(service: PredictionService,
+                            drain_timeout_s: float,
+                            signals=(signal.SIGTERM, signal.SIGINT)):
+    """Graceful shutdown on SIGTERM/SIGINT: drain with a deadline.
+
+    The handler calls ``service.stop(drain=True, timeout=...)`` — every
+    admitted ticket resolves (served within the deadline, or failed with
+    a typed ``ServiceClosedError``) before the process exits 0.  An
+    operator SIGTERM is a *clean* shutdown, not an error.  Returns the
+    previous handlers so callers can restore them (must run on the main
+    thread — a CPython signal-handling constraint).
+    """
+    previous = {}
+
+    def _handler(signum, frame):
+        name = signal.Signals(signum).name
+        print(f"{name}: draining admitted requests "
+              f"(deadline {drain_timeout_s:g}s) ...",
+              file=sys.stderr, flush=True)
+        # re-entrant signals during the drain must not re-enter stop()
+        for sig in previous:
+            signal.signal(sig, signal.SIG_IGN)
+        service.stop(drain=True, timeout=drain_timeout_s)
+        stats = service.stats()
+        print(f"drained: served={stats['served']} "
+              f"failed={stats['failed']}", file=sys.stderr, flush=True)
+        raise SystemExit(0)
+
+    for sig in signals:
+        previous[sig] = signal.signal(sig, _handler)
+    return previous
 
 
 def build_spec(model_name: str, edge: int, points: int,
@@ -79,6 +113,15 @@ def main(argv=None) -> int:
     parser.add_argument("--check-parity", action="store_true",
                         help="verify served predictions bit-for-bit "
                              "against direct predict_case")
+    parser.add_argument("--health-json", action="store_true",
+                        help="print the final versioned health snapshot "
+                             "as JSON (workers, breaker, heartbeat ages)")
+    parser.add_argument("--watchdog-ms", type=float, default=None,
+                        help="hung-worker watchdog budget (ms); "
+                             "0 disables")
+    parser.add_argument("--audit-every", type=int, default=None,
+                        help="golden-solver online audit sampling "
+                             "(1/N fulfilled results; 0 disables)")
     parser.add_argument("--edge", type=int,
                         default=_env_int("REPRO_EVAL_EDGE", 48))
     parser.add_argument("--points", type=int,
@@ -95,6 +138,11 @@ def main(argv=None) -> int:
             overrides[field_name] = value
     if args.window_ms is not None:
         overrides["batch_window_s"] = args.window_ms / 1000.0
+    if args.watchdog_ms is not None:
+        overrides["watchdog_s"] = (args.watchdog_ms / 1000.0
+                                   if args.watchdog_ms else None)
+    if args.audit_every is not None:
+        overrides["audit_every"] = args.audit_every
     config = ServeConfig.from_env(**overrides)
 
     print(f"synthesising suite (edge base, hidden cases for load) ...",
@@ -123,14 +171,22 @@ def main(argv=None) -> int:
           f"max_batch={config.max_batch}, "
           f"window={config.batch_window_s * 1e3:g}ms", flush=True)
     service = PredictionService(spec, config)
-    with service:
-        report = open_loop_load(service, cases, rate_hz=args.rate,
-                                total=args.requests)
-        stats = service.stats()
+    previous = install_signal_handlers(service, config.drain_s)
+    try:
+        with service:
+            report = open_loop_load(service, cases, rate_hz=args.rate,
+                                    total=args.requests)
+            health = service.health()
+            stats = service.stats()
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
     summary = report.summary()
-    print(json.dumps({"load": summary, "service": stats}, indent=2,
-                     sort_keys=True, default=float))
+    payload = {"load": summary, "service": stats}
+    if args.health_json:
+        payload["health"] = health.to_dict()
+    print(json.dumps(payload, indent=2, sort_keys=True, default=float))
     for line in report.errors:
         print(f"request failed: {line}", file=sys.stderr)
 

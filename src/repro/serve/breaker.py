@@ -1,0 +1,184 @@
+"""Sliding-window circuit breaker for the serving daemon.
+
+When the pool starts failing most of what it touches — a crash-looping
+spec, a poisoned hot-swap, a dependency melting down — queueing more
+work just converts every new request into a slow failure.  The breaker
+watches a sliding window of per-request outcomes and, once the failure
+rate over at least ``min_requests`` observations reaches ``threshold``,
+*trips open*: new submits are shed immediately with a typed
+:class:`CircuitOpenError` instead of being admitted to a doomed queue.
+
+After ``cooldown_s`` the breaker *half-opens* and lets up to ``probes``
+requests through; one probe success closes it (window cleared — old
+failures don't instantly re-trip), one probe failure re-opens it for
+another cooldown.  Every transition is recorded on the process-wide
+:class:`~repro.faults.degrade.DegradationLog` under component
+``serve.breaker``, so chaos soaks and operators see the same ledger.
+
+:meth:`CircuitBreaker.trip` force-opens regardless of the window — the
+online output audit uses it when a served prediction diverges from the
+golden solver, because at that point *correctness*, not error rate, says
+the service must stop fulfilling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.faults.degrade import record as record_degradation
+from repro.serve.queue import ServeError
+
+__all__ = ["BREAKER_STATES", "CircuitOpenError", "CircuitBreaker"]
+
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitOpenError(ServeError):
+    """The circuit breaker is open; the request was shed, not queued."""
+
+    def __init__(self, failure_rate: float, window: int,
+                 retry_after_s: float):
+        self.failure_rate = float(failure_rate)
+        self.window = int(window)
+        self.retry_after_s = max(0.0, float(retry_after_s))
+        super().__init__(
+            f"request shed: circuit breaker open "
+            f"(failure rate {self.failure_rate:.0%} over the last "
+            f"{self.window} requests); retry in {self.retry_after_s:.2f}s")
+
+
+class CircuitBreaker:
+    """Thread-safe closed / open / half-open failure-rate breaker."""
+
+    def __init__(self, window: int = 32, threshold: float = 0.5,
+                 min_requests: int = 8, cooldown_s: float = 1.0,
+                 probes: int = 1, name: str = "serve.breaker"):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {threshold}")
+        if min_requests < 1:
+            raise ValueError(
+                f"min_requests must be >= 1, got {min_requests}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.min_requests = int(min_requests)
+        self.cooldown_s = float(cooldown_s)
+        self.probes = int(probes)
+        self.name = name
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=self.window)
+        self._state = "closed"
+        self._open_until = 0.0
+        self._probes_inflight = 0
+        self._trips = 0
+        self._shed = 0
+
+    # -- observation ---------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._advance_locked(time.perf_counter())
+            return self._state
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            return self._rate_locked()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            self._advance_locked(time.perf_counter())
+            return {
+                "state": self._state,
+                "failure_rate": self._rate_locked(),
+                "window": len(self._outcomes),
+                "trips": self._trips,
+                "shed": self._shed,
+            }
+
+    def _rate_locked(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / len(self._outcomes)
+
+    # -- admission -----------------------------------------------------
+    def allow(self) -> None:
+        """Gate one admission; raises :class:`CircuitOpenError` when
+        open (or half-open with all probe slots taken)."""
+        now = time.perf_counter()
+        with self._lock:
+            self._advance_locked(now)
+            if self._state == "closed":
+                return
+            if self._state == "half_open" \
+                    and self._probes_inflight < self.probes:
+                self._probes_inflight += 1
+                return
+            self._shed += 1
+            raise CircuitOpenError(self._rate_locked(), len(self._outcomes),
+                                   self._open_until - now)
+
+    # -- outcomes ------------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._advance_locked(time.perf_counter())
+            self._outcomes.append(True)
+            if self._state == "half_open":
+                self._close_locked("probe request succeeded")
+
+    def record_failure(self, error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            self._advance_locked(time.perf_counter())
+            self._outcomes.append(False)
+            why = (f"{type(error).__name__}: {error}" if error is not None
+                   else "failure recorded")
+            if self._state == "half_open":
+                self._open_locked(f"probe request failed ({why})")
+                return
+            if self._state == "closed" \
+                    and len(self._outcomes) >= self.min_requests \
+                    and self._rate_locked() >= self.threshold:
+                self._open_locked(
+                    f"failure rate {self._rate_locked():.0%} >= "
+                    f"{self.threshold:.0%} over {len(self._outcomes)} "
+                    f"requests (last: {why})")
+
+    def trip(self, reason: str) -> None:
+        """Force the breaker open regardless of the window (used by the
+        online audit when served output diverges from the golden
+        solver)."""
+        with self._lock:
+            if self._state != "open":
+                self._open_locked(f"forced open: {reason}")
+
+    # -- transitions (lock held) ---------------------------------------
+    def _advance_locked(self, now: float) -> None:
+        if self._state == "open" and now >= self._open_until:
+            self._transition_locked("half_open",
+                                    f"cooldown {self.cooldown_s:g}s "
+                                    f"elapsed; admitting probe(s)")
+            self._probes_inflight = 0
+
+    def _open_locked(self, reason: str) -> None:
+        self._transition_locked("open", reason)
+        self._open_until = time.perf_counter() + self.cooldown_s
+        self._probes_inflight = 0
+        self._trips += 1
+
+    def _close_locked(self, reason: str) -> None:
+        self._transition_locked("closed", reason)
+        self._outcomes.clear()
+        self._probes_inflight = 0
+
+    def _transition_locked(self, to_state: str, reason: str) -> None:
+        record_degradation(self.name, self._state, to_state, reason)
+        self._state = to_state

@@ -29,6 +29,33 @@ REPRO_SERVE_BACKOFF_CAP_MS   re-dispatch delay ceiling
 REPRO_SERVE_MAX_RESPAWNS   process-worker respawn ceiling before the
                            pool declares itself failed (crash-loop
                            backstop)
+REPRO_SERVE_WATCHDOG_MS    hung-worker budget: a batch outstanding
+                           longer than this marks the worker stalled
+                           (process workers are force-killed and the
+                           batch re-dispatched; thread workers are
+                           flagged and the batch failed with
+                           ``WorkerStalledError``).  Unset/empty/0 =
+                           watchdog off
+REPRO_SERVE_HEARTBEAT_MS   worker heartbeat cadence (idle-poll period
+                           of the worker main loops)
+REPRO_SERVE_STALE_MS       heartbeat freshness budget: a live worker
+                           quiet longer than this reports ``degraded``
+                           on the health model
+REPRO_SERVE_BREAKER        circuit breaker on/off (default on; ``0`` /
+                           ``false`` / ``no`` disables)
+REPRO_SERVE_BREAKER_WINDOW       breaker sliding window (requests)
+REPRO_SERVE_BREAKER_THRESHOLD    failure rate in (0, 1] that trips open
+REPRO_SERVE_BREAKER_MIN          observations required before tripping
+REPRO_SERVE_BREAKER_COOLDOWN_MS  open -> half-open cooldown
+REPRO_SERVE_BREAKER_PROBES       half-open probe admissions
+REPRO_SERVE_GUARD_MIN_V    lowest physically plausible served IR drop
+REPRO_SERVE_GUARD_MAX_V    highest physically plausible served IR drop
+REPRO_SERVE_AUDIT_EVERY    online audit sampling: golden re-solve ~1/N
+                           fulfilled results (unset/empty/0 = off)
+REPRO_SERVE_AUDIT_DIVERGENCE_V   worst-pixel served-vs-golden gap that
+                                 trips the breaker
+REPRO_SERVE_DRAIN_MS       drain deadline of the SIGTERM/SIGINT
+                           graceful-shutdown handlers
 =========================  ============================================
 """
 
@@ -52,6 +79,14 @@ def _env_deadline(name: str) -> "float | None":
     if value_ms == 0:
         return None
     return value_ms / 1000.0
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    """Boolean knob: ``0`` / ``false`` / ``no`` / ``off`` disable."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
 
 
 @dataclass
@@ -80,6 +115,20 @@ class ServeConfig:
     backoff_base_s: float = 0.02
     backoff_cap_s: float = 0.5
     max_respawns: int = 8
+    watchdog_s: "float | None" = None
+    heartbeat_s: float = 0.2
+    stale_after_s: float = 1.0
+    breaker_enabled: bool = True
+    breaker_window: int = 32
+    breaker_threshold: float = 0.5
+    breaker_min_requests: int = 8
+    breaker_cooldown_s: float = 1.0
+    breaker_probes: int = 1
+    guard_min_v: float = 0.0
+    guard_max_v: float = 10.0
+    audit_every: int = 0
+    audit_divergence_v: float = 0.5
+    drain_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -111,6 +160,48 @@ class ServeConfig:
         if self.max_respawns < 0:
             raise ValueError(
                 f"max_respawns must be >= 0, got {self.max_respawns}")
+        if self.watchdog_s is not None and self.watchdog_s <= 0:
+            raise ValueError(
+                f"watchdog_s must be positive or None, got {self.watchdog_s}")
+        if self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}")
+        if self.stale_after_s <= 0:
+            raise ValueError(
+                f"stale_after_s must be > 0, got {self.stale_after_s}")
+        if self.breaker_window < 1:
+            raise ValueError(
+                f"breaker_window must be >= 1, got {self.breaker_window}")
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ValueError(
+                f"breaker_threshold must be in (0, 1], "
+                f"got {self.breaker_threshold}")
+        if self.breaker_min_requests < 1:
+            raise ValueError(
+                f"breaker_min_requests must be >= 1, "
+                f"got {self.breaker_min_requests}")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be >= 0, "
+                f"got {self.breaker_cooldown_s}")
+        if self.breaker_probes < 1:
+            raise ValueError(
+                f"breaker_probes must be >= 1, got {self.breaker_probes}")
+        if not self.guard_max_v > self.guard_min_v:
+            raise ValueError(
+                f"guard_max_v must be > guard_min_v, "
+                f"got {self.guard_min_v} .. {self.guard_max_v}")
+        if self.audit_every < 0:
+            raise ValueError(
+                f"audit_every must be >= 0 (0 = off), "
+                f"got {self.audit_every}")
+        if self.audit_divergence_v <= 0:
+            raise ValueError(
+                f"audit_divergence_v must be > 0, "
+                f"got {self.audit_divergence_v}")
+        if self.drain_s <= 0:
+            raise ValueError(
+                f"drain_s must be > 0, got {self.drain_s}")
 
     @classmethod
     def from_env(cls, **overrides) -> "ServeConfig":
@@ -140,6 +231,35 @@ class ServeConfig:
                 cls.backoff_cap_s * 1000.0)) / 1000.0,
             max_respawns=env_int("REPRO_SERVE_MAX_RESPAWNS",
                                  cls.max_respawns),
+            watchdog_s=_env_deadline("REPRO_SERVE_WATCHDOG_MS"),
+            heartbeat_s=float(os.environ.get(
+                "REPRO_SERVE_HEARTBEAT_MS",
+                cls.heartbeat_s * 1000.0)) / 1000.0,
+            stale_after_s=float(os.environ.get(
+                "REPRO_SERVE_STALE_MS",
+                cls.stale_after_s * 1000.0)) / 1000.0,
+            breaker_enabled=_env_flag("REPRO_SERVE_BREAKER",
+                                      cls.breaker_enabled),
+            breaker_window=env_int("REPRO_SERVE_BREAKER_WINDOW",
+                                   cls.breaker_window),
+            breaker_threshold=float(os.environ.get(
+                "REPRO_SERVE_BREAKER_THRESHOLD", cls.breaker_threshold)),
+            breaker_min_requests=env_int("REPRO_SERVE_BREAKER_MIN",
+                                         cls.breaker_min_requests),
+            breaker_cooldown_s=float(os.environ.get(
+                "REPRO_SERVE_BREAKER_COOLDOWN_MS",
+                cls.breaker_cooldown_s * 1000.0)) / 1000.0,
+            breaker_probes=env_int("REPRO_SERVE_BREAKER_PROBES",
+                                   cls.breaker_probes),
+            guard_min_v=float(os.environ.get("REPRO_SERVE_GUARD_MIN_V",
+                                             cls.guard_min_v)),
+            guard_max_v=float(os.environ.get("REPRO_SERVE_GUARD_MAX_V",
+                                             cls.guard_max_v)),
+            audit_every=env_int("REPRO_SERVE_AUDIT_EVERY", cls.audit_every),
+            audit_divergence_v=float(os.environ.get(
+                "REPRO_SERVE_AUDIT_DIVERGENCE_V", cls.audit_divergence_v)),
+            drain_s=float(os.environ.get(
+                "REPRO_SERVE_DRAIN_MS", cls.drain_s * 1000.0)) / 1000.0,
         )
         for key, value in overrides.items():
             if not hasattr(config, key):

@@ -21,8 +21,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.case import CaseBundle
 from repro.metrics.timing import latency_summary
+from repro.serve.breaker import CircuitOpenError
 from repro.serve.queue import (
     BackpressureError,
+    DeadlineExceededError,
     PredictionTicket,
     ServeError,
     ServeResult,
@@ -34,12 +36,21 @@ __all__ = ["LoadReport", "open_loop_load"]
 
 @dataclass
 class LoadReport:
-    """What one open-loop run observed, ready for the bench recorder."""
+    """What one open-loop run observed, ready for the bench recorder.
+
+    The outcome taxonomy is exact: ``offered = accepted + rejected +
+    shed`` and ``accepted = served + failed + expired`` — a shed request
+    (breaker open) is the service protecting itself, an expired one is a
+    deadline outcome, and only genuine serving failures (worker death,
+    stall, prediction error, integrity refusal) land in ``failed``.
+    """
 
     offered: int = 0            # submit attempts
     accepted: int = 0           # admitted by the queue
     rejected: int = 0           # BackpressureError answers
+    shed: int = 0               # CircuitOpenError answers (breaker open)
     failed: int = 0             # admitted but failed (worker death ...)
+    expired: int = 0            # admitted but DeadlineExceededError
     duration_s: float = 0.0     # first submit -> last result
     results: List[Tuple[CaseBundle, ServeResult]] = field(
         default_factory=list)
@@ -60,7 +71,9 @@ class LoadReport:
             "offered": float(self.offered),
             "accepted": float(self.accepted),
             "rejected": float(self.rejected),
+            "shed": float(self.shed),
             "failed": float(self.failed),
+            "expired": float(self.expired),
             "served": float(self.served),
             "duration_s": self.duration_s,
             "throughput_cases_per_s": self.throughput,
@@ -113,12 +126,18 @@ def open_loop_load(service: PredictionService,
             report.accepted += 1
         except BackpressureError:
             report.rejected += 1
+        except CircuitOpenError:
+            report.shed += 1
 
     deadline = time.perf_counter() + result_timeout
     for case, ticket in pending:
         remaining = max(0.0, deadline - time.perf_counter())
         try:
             report.results.append((case, ticket.result(remaining)))
+        except DeadlineExceededError as error:
+            report.expired += 1
+            report.errors.append(
+                f"{case.name}: {type(error).__name__}: {error}")
         except (ServeError, TimeoutError) as error:
             report.failed += 1
             report.errors.append(

@@ -25,8 +25,8 @@ from repro.faults.deadline import Deadline, DeadlineExceededError
 
 __all__ = [
     "ServeError", "BackpressureError", "ServiceClosedError",
-    "WorkerDiedError", "PredictionFailedError", "TicketStateError",
-    "DeadlineExceededError",
+    "WorkerDiedError", "WorkerStalledError", "PredictionFailedError",
+    "TicketStateError", "DeadlineExceededError",
     "ServeResult", "PredictionTicket", "PredictionRequest", "RequestQueue",
 ]
 
@@ -57,6 +57,16 @@ class ServiceClosedError(ServeError):
 
 class WorkerDiedError(ServeError):
     """A worker died while holding this request and retries ran out."""
+
+
+class WorkerStalledError(ServeError):
+    """A worker hung past the watchdog budget while holding this request.
+
+    Process workers are force-killed and the batch re-dispatched; this
+    error surfaces only once retries run out too.  Thread workers cannot
+    be killed, so their stalled batch fails immediately with this error
+    while the wedged thread is flagged unhealthy on the health model.
+    """
 
 
 class PredictionFailedError(ServeError):

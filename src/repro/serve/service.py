@@ -39,17 +39,39 @@ from repro.faults.deadline import Deadline, DeadlineExceededError
 from repro.faults.degrade import default_log
 from repro.faults.points import fault_point
 from repro.metrics.timing import latency_summary
+from repro.serve.breaker import CircuitBreaker, CircuitOpenError
 from repro.serve.config import ServeConfig
+from repro.serve.guard import (
+    AuditRecord,
+    IntegrityError,
+    OnlineAuditor,
+    OutputGuard,
+)
+from repro.serve.health import HealthMonitor, HealthSnapshot
 from repro.serve.queue import (
+    BackpressureError,
     PredictionRequest,
     PredictionTicket,
     RequestQueue,
     ServeResult,
     ServiceClosedError,
+    TicketStateError,
 )
 from repro.serve.worker import PredictorSpec, ProcessWorkerPool, ThreadWorkerPool
 
 __all__ = ["PredictionService"]
+
+#: Bounded sample windows for the latency/TAT percentile summaries — a
+#: long-lived daemon must not grow its stats without bound, and 4096
+#: recent samples are plenty for p99.
+STATS_WINDOW = 4096
+
+#: Failures that must never count against the circuit breaker: they are
+#: admission/lifecycle outcomes (shed, closed, expired, rejected), not
+#: evidence the serving path is broken — counting them would let an
+#: open breaker keep itself open on its own sheds.
+_BREAKER_EXEMPT = (ServiceClosedError, BackpressureError, CircuitOpenError,
+                   TicketStateError, DeadlineExceededError)
 
 
 class PredictionService:
@@ -67,9 +89,29 @@ class PredictionService:
         self.config = config if config is not None else ServeConfig()
         self.spec = spec
         self.queue = RequestQueue(self.config.queue_capacity)
+        self.health_monitor = HealthMonitor(
+            stale_after_s=self.config.stale_after_s)
+        self.guard = OutputGuard(v_min=self.config.guard_min_v,
+                                 v_max=self.config.guard_max_v)
+        self.breaker: Optional[CircuitBreaker] = None
+        if self.config.breaker_enabled:
+            self.breaker = CircuitBreaker(
+                window=self.config.breaker_window,
+                threshold=self.config.breaker_threshold,
+                min_requests=self.config.breaker_min_requests,
+                cooldown_s=self.config.breaker_cooldown_s,
+                probes=self.config.breaker_probes)
+        self.auditor: Optional[OnlineAuditor] = None
+        if self.config.audit_every:
+            self.auditor = OnlineAuditor(
+                every=self.config.audit_every,
+                divergence_v=self.config.audit_divergence_v,
+                on_divergence=self._on_divergence)
         pool_cls = (ThreadWorkerPool if self.config.worker_kind == "thread"
                     else ProcessWorkerPool)
-        self.pool = pool_cls(spec, self.config, on_result=self._record)
+        self.pool = pool_cls(spec, self.config, on_result=self._record,
+                             on_failure=self._on_failure, guard=self.guard,
+                             health=self.health_monitor)
         self._ids = itertools.count()
         self._scheduler: Optional[threading.Thread] = None
         self._started = False
@@ -78,10 +120,13 @@ class PredictionService:
         self._tickets: Deque[PredictionTicket] = deque()
         self._served = 0
         self._expired = 0
-        self._latencies: List[float] = []
-        self._tats: List[float] = []
-        self._queue_waits: List[float] = []
-        self._batch_sizes: List[int] = []
+        self._failed = 0
+        self._shed = 0
+        self._integrity_refused = 0
+        self._latencies: Deque[float] = deque(maxlen=STATS_WINDOW)
+        self._tats: Deque[float] = deque(maxlen=STATS_WINDOW)
+        self._queue_waits: Deque[float] = deque(maxlen=STATS_WINDOW)
+        self._batch_sizes: Deque[int] = deque(maxlen=STATS_WINDOW)
 
     @classmethod
     def from_predictor(cls, predictor: IRPredictor,
@@ -94,6 +139,8 @@ class PredictionService:
         if self._started:
             raise RuntimeError("service already started")
         self._started = True
+        if self.auditor is not None:
+            self.auditor.start()
         self.pool.start()
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="repro-serve-scheduler",
@@ -111,7 +158,8 @@ class PredictionService:
     def submit(self, case: CaseBundle,
                deadline_s: Optional[float] = None) -> PredictionTicket:
         """Admit one case; returns its ticket or raises loudly
-        (:class:`BackpressureError` / :class:`ServiceClosedError`).
+        (:class:`BackpressureError` / :class:`ServiceClosedError` /
+        :class:`CircuitOpenError` when the breaker is shedding).
 
         ``deadline_s`` (falling back to ``config.deadline_s``) starts the
         request's deadline clock at admission: a request still queued when
@@ -125,6 +173,13 @@ class PredictionService:
         dispatch begins when the service starts."""
         if self._stopped:
             raise ServiceClosedError("service is stopped")
+        if self.breaker is not None:
+            try:
+                self.breaker.allow()
+            except CircuitOpenError:
+                with self._stats_lock:
+                    self._shed += 1
+                raise
         ticket = PredictionTicket(next(self._ids), case.name)
         ticket._context = self._ticket_context
         budget = deadline_s if deadline_s is not None \
@@ -191,14 +246,46 @@ class PredictionService:
                 for request in batch:
                     if not request.ticket.done():
                         request.ticket.fail(error)
+                        self._on_failure(error)
 
-    def _record(self, result: ServeResult) -> None:
+    def _record(self, request: PredictionRequest,
+                result: ServeResult) -> None:
+        """Per-fulfilment bookkeeping (runs on worker/monitor threads)."""
         with self._stats_lock:
             self._served += 1
             self._latencies.append(result.latency_seconds)
             self._tats.append(result.tat_seconds)
             self._queue_waits.append(result.queue_seconds)
             self._batch_sizes.append(result.batch_size)
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self.auditor is not None:
+            self.auditor.observe(request.case, result.prediction)
+
+    def _on_failure(self, error: BaseException) -> None:
+        """Per-failed-resolution bookkeeping; feeds the breaker window.
+
+        Lifecycle outcomes (shed/closed/expired) are exempt — only
+        failures that say the *serving path* is broken (worker deaths,
+        stalls, prediction failures, integrity refusals, injected
+        faults) may trip the breaker.
+        """
+        with self._stats_lock:
+            self._failed += 1
+            if isinstance(error, IntegrityError):
+                self._integrity_refused += 1
+        if self.breaker is not None \
+                and not isinstance(error, _BREAKER_EXEMPT):
+            self.breaker.record_failure(error)
+
+    def _on_divergence(self, record: AuditRecord) -> None:
+        """Online audit found a served map off the golden solver: the
+        model itself is suspect, so stop fulfilling future requests."""
+        if self.breaker is not None:
+            self.breaker.trip(
+                f"online audit: served map for {record.case_name!r} off "
+                f"golden by {record.divergence_v:.3e} V "
+                f"(> {record.threshold_v:g} V)")
 
     # ------------------------------------------------------------------
     def swap(self, state: Dict[str, np.ndarray],
@@ -222,11 +309,29 @@ class PredictionService:
                 f"workers={self.pool.worker_count}, "
                 f"served={self._served}")
 
+    def health(self) -> HealthSnapshot:
+        """Versioned health rollup: per-worker heartbeat freshness plus
+        the breaker and pool state (see :mod:`repro.serve.health`)."""
+        return self.health_monitor.snapshot(
+            breaker=None if self.breaker is None else self.breaker.state,
+            queue_depth=len(self.queue),
+            pool_failed=getattr(self.pool, "_failed", None))
+
     def stats(self) -> dict:
-        """Serving counters plus latency/TAT percentile summaries."""
+        """Serving counters plus latency/TAT percentile summaries.
+
+        The whole numeric state — counters *and* the percentile sample
+        windows — is snapshotted under the record lock in one critical
+        section, so a concurrent ``_record`` can never leave the report
+        internally inconsistent (served count from one instant, latency
+        samples from another).  Summarisation runs on the copies.
+        """
         with self._stats_lock:
             served = self._served
             expired = self._expired
+            failed = self._failed
+            shed = self._shed
+            integrity_refused = self._integrity_refused
             latencies = list(self._latencies)
             tats = list(self._tats)
             queue_waits = list(self._queue_waits)
@@ -235,11 +340,20 @@ class PredictionService:
             "served": served,
             "rejected": self.queue.rejected,
             "deadline_expired": expired,
+            "failed": failed,
+            "shed": shed,
+            "integrity_refused": integrity_refused,
             "queue_depth": len(self.queue),
             "workers": self.pool.worker_count,
             "worker_kind": self.config.worker_kind,
             "degradations": default_log().counts(),
+            "health": self.health_monitor.summary(),
+            "guard": self.guard.stats(),
         }
+        if self.breaker is not None:
+            report["breaker"] = self.breaker.stats()
+        if self.auditor is not None:
+            report["audit"] = self.auditor.stats()
         if latencies:
             report["latency"] = latency_summary(latencies)
             report["tat"] = latency_summary(tats)
@@ -251,7 +365,14 @@ class PredictionService:
     # ------------------------------------------------------------------
     def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
         """Shut down; with ``drain`` (default) every admitted request is
-        served first, otherwise queued tickets fail loudly."""
+        served first, otherwise queued tickets fail loudly.
+
+        Either way the contract is total: every admitted ticket resolves
+        exactly once — fulfilled, or failed with a typed error — before
+        this returns.  The final sweep covers the corner where the drain
+        deadline expires with requests still queued (the scheduler join
+        timed out): those tickets are failed here instead of leaking.
+        """
         if self._stopped:
             return
         self._stopped = True
@@ -278,3 +399,11 @@ class PredictionService:
                 if not ticket._event.wait(remaining):
                     break  # pool.stop() fails whatever is still in flight
         self.pool.stop()
+        if self.auditor is not None:
+            self.auditor.stop()
+        # final sweep: anything still queued (drain deadline expired
+        # before the scheduler emptied the queue) must not leak
+        for request in self.queue.drain_pending():
+            if not request.ticket.done():
+                request.ticket.fail(ServiceClosedError(
+                    "service stopped before the request was scheduled"))

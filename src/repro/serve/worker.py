@@ -40,9 +40,11 @@ import numpy as np
 from repro.core.pipeline import IRPredictor
 from repro.faults.backoff import BackoffPolicy
 from repro.faults.degrade import record as record_degradation
-from repro.faults.points import fault_point
+from repro.faults.points import fault_point, maybe_corrupt
 from repro.nn.module import Module
 from repro.serve.config import ServeConfig
+from repro.serve.guard import IntegrityError, OutputGuard, prediction_digest
+from repro.serve.health import HealthMonitor
 from repro.serve.queue import (
     PredictionFailedError,
     PredictionRequest,
@@ -50,6 +52,7 @@ from repro.serve.queue import (
     ServeResult,
     ServiceClosedError,
     WorkerDiedError,
+    WorkerStalledError,
 )
 from repro.train.loader import CasePreprocessor
 
@@ -60,7 +63,8 @@ __all__ = ["PredictorSpec", "ThreadWorkerPool", "ProcessWorkerPool"]
 #: recovery.  Tunable per pool via ``ServeConfig.max_respawns``.
 MAX_RESPAWNS = 8
 
-ResultCallback = Callable[[ServeResult], None]
+ResultCallback = Callable[[PredictionRequest, ServeResult], None]
+FailureCallback = Callable[[BaseException], None]
 
 
 @dataclass
@@ -158,24 +162,29 @@ class _RWLock:
 def _batch_entries(predictor: IRPredictor, cases) -> list:
     """Run one micro-batch; on failure, isolate the guilty case(s).
 
-    Returns one tagged entry per case — ``("ok", prediction, tat)`` or
-    ``("fail", message)``.  The fast path is a single ``predict_many``;
-    if that raises, each case is retried alone so one malformed request
-    cannot poison the innocent requests coalesced with it.
+    Returns one tagged entry per case — ``("ok", prediction, tat,
+    digest)`` or ``("fail", message)``.  The digest is the prediction's
+    content checksum taken *here*, next to the forward, so the integrity
+    guard at fulfilment can prove the bytes survived the trip back (IPC
+    pickling for process workers, the ``serve.guard`` corruption point
+    in chaos runs).  The fast path is a single ``predict_many``; if that
+    raises, each case is retried alone so one malformed request cannot
+    poison the innocent requests coalesced with it.
     """
     try:
         # inside the try on purpose: an injected fault here degrades to
         # the per-case isolation path below instead of killing the
         # worker loop
         fault_point("serve.predict")
-        return [("ok", prediction, float(tat))
+        return [("ok", prediction, float(tat), prediction_digest(prediction))
                 for prediction, tat in predictor.predict_many(cases)]
     except Exception:
         entries = []
         for case in cases:
             try:
                 prediction, tat = predictor.predict_case(case)
-                entries.append(("ok", prediction, float(tat)))
+                entries.append(("ok", prediction, float(tat),
+                                prediction_digest(prediction)))
             except Exception as error:
                 entries.append(
                     ("fail", f"{type(error).__name__}: {error}"))
@@ -184,16 +193,38 @@ def _batch_entries(predictor: IRPredictor, cases) -> list:
 
 def _resolve_batch(batch: List[PredictionRequest], entries: list,
                    worker: str, model_version: int,
-                   on_result: Optional[ResultCallback]) -> None:
+                   on_result: Optional[ResultCallback],
+                   guard: Optional[OutputGuard] = None,
+                   on_failure: Optional[FailureCallback] = None) -> None:
     completed = time.perf_counter()
     for request, entry in zip(batch, entries):
         if request.ticket.done():
             continue  # a shutdown sweep beat this resolution to it
         if entry[0] == "fail":
-            request.ticket.fail(PredictionFailedError(
-                f"worker {worker} failed on {request.case!r}: {entry[1]}"))
+            error: BaseException = PredictionFailedError(
+                f"worker {worker} failed on {request.case!r}: {entry[1]}")
+            request.ticket.fail(error)
+            if on_failure is not None:
+                on_failure(error)
             continue
-        _, prediction, tat = entry
+        _, prediction, tat, digest = entry
+        # the chaos corruption point sits on the fulfilment path, between
+        # the worker's checksum and the guard's re-verification — exactly
+        # where real transport corruption would land
+        prediction = maybe_corrupt("serve.guard", prediction)
+        if guard is not None:
+            try:
+                guard.check(
+                    prediction,
+                    case_shape=getattr(request.case, "shape", None),
+                    digest=digest,
+                    context=f"request {request.id} "
+                            f"({request.case.name!r}) via {worker}")
+            except IntegrityError as error:
+                request.ticket.fail(error)
+                if on_failure is not None:
+                    on_failure(error)
+                continue
         dispatched = (request.dispatched if request.dispatched is not None
                       else request.submitted)
         result = ServeResult(
@@ -208,11 +239,11 @@ def _resolve_batch(batch: List[PredictionRequest], entries: list,
         )
         request.ticket.fulfill(result)
         if on_result is not None:
-            on_result(result)
+            on_result(request, result)
 
 
-def _fail_batch(batch: List[PredictionRequest],
-                error: BaseException) -> None:
+def _fail_batch(batch: List[PredictionRequest], error: BaseException,
+                on_failure: Optional[FailureCallback] = None) -> None:
     """Fail every still-unresolved ticket in a batch.
 
     Shutdown and reaping can race a normal resolution (e.g. a batch
@@ -222,26 +253,51 @@ def _fail_batch(batch: List[PredictionRequest],
     for request in batch:
         if not request.ticket.done():
             request.ticket.fail(error)
+            if on_failure is not None:
+                on_failure(error)
 
 
 # ----------------------------------------------------------------------
 # Thread workers
 # ----------------------------------------------------------------------
 class ThreadWorkerPool:
-    """In-process workers: private predictor each, shared model weights."""
+    """In-process workers: private predictor each, shared model weights.
+
+    Threads cannot be force-killed, so the hung-worker watchdog here is
+    *detection plus loud failure*: a batch outstanding past
+    ``config.watchdog_s`` is failed with
+    :class:`~repro.serve.queue.WorkerStalledError`, the thread is
+    flagged ``unhealthy`` on the health model, and the degradation
+    ledger records the stall.  If the wedged forward eventually returns,
+    the recovery is recorded and the thread rejoins service (its late
+    results are dropped by the tickets' done() checks).
+    """
 
     _STOP = object()
 
     def __init__(self, spec: PredictorSpec, config: ServeConfig,
-                 on_result: Optional[ResultCallback] = None):
+                 on_result: Optional[ResultCallback] = None,
+                 on_failure: Optional[FailureCallback] = None,
+                 guard: Optional[OutputGuard] = None,
+                 health: Optional[HealthMonitor] = None):
         self.config = config
         self.on_result = on_result
+        self.on_failure = on_failure
+        self.guard = guard
+        self.health = health
         self._predictors = [spec.build(group_size=config.max_batch)
                             for _ in range(config.workers)]
         self._tasks: "_stdlib_queue.Queue" = _stdlib_queue.Queue(
             maxsize=config.workers)
         self._threads: List[threading.Thread] = []
         self._swap_lock = _RWLock()
+        # index -> (dispatch perf_counter, batch): what each thread holds
+        self._state_lock = threading.Lock()
+        self._outstanding: Dict[int, Tuple[float, List[PredictionRequest]]] \
+            = {}
+        self._stalled: Dict[int, float] = {}
+        self._stop_event = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
 
     @property
     def worker_count(self) -> int:
@@ -249,24 +305,87 @@ class ThreadWorkerPool:
 
     def start(self) -> None:
         for index in range(len(self._predictors)):
+            if self.health is not None:
+                self.health.register(f"thread-{index}")
             thread = threading.Thread(
                 target=self._worker_loop, args=(index,),
                 name=f"repro-serve-thread-{index}", daemon=True)
             thread.start()
             self._threads.append(thread)
+        if self.config.watchdog_s is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="repro-serve-watchdog",
+                daemon=True)
+            self._watchdog.start()
 
     def _worker_loop(self, index: int) -> None:
         predictor = self._predictors[index]
         worker = f"thread-{index}"
         while True:
-            batch = self._tasks.get()
+            try:
+                batch = self._tasks.get(timeout=self.config.heartbeat_s)
+            except _stdlib_queue.Empty:
+                # idle heartbeat: the loop itself proves liveness — a
+                # wedged forward stops the beats, a side thread would not
+                if self.health is not None:
+                    self.health.beat(worker)
+                continue
             if batch is self._STOP:
                 return
+            with self._state_lock:
+                self._outstanding[index] = (time.perf_counter(), batch)
             with self._swap_lock.read():
                 entries = _batch_entries(
                     predictor, [request.case for request in batch])
                 version = predictor.model.state_version
-            _resolve_batch(batch, entries, worker, version, self.on_result)
+            with self._state_lock:
+                self._outstanding.pop(index, None)
+                stalled_at = self._stalled.pop(index, None)
+            if stalled_at is not None:
+                # the wedged forward finally returned; its tickets were
+                # already failed by the watchdog, so resolution below is
+                # a no-op and the thread rejoins service
+                record_degradation(
+                    "serve.watchdog", worker, "recovered",
+                    f"stalled batch completed after "
+                    f"{time.perf_counter() - stalled_at:.3f}s; "
+                    f"thread back in service")
+                if self.health is not None:
+                    self.health.mark_recovered(worker)
+            _resolve_batch(batch, entries, worker, version, self.on_result,
+                           guard=self.guard, on_failure=self.on_failure)
+            if self.health is not None:
+                self.health.beat(worker)
+
+    def _watchdog_loop(self) -> None:
+        budget = self.config.watchdog_s
+        assert budget is not None
+        interval = max(min(budget / 4.0, 0.25), 0.005)
+        while not self._stop_event.wait(interval):
+            now = time.perf_counter()
+            victims: List[Tuple[int, List[PredictionRequest], float]] = []
+            with self._state_lock:
+                for index, (started, batch) in self._outstanding.items():
+                    age = now - started
+                    if index not in self._stalled and age > budget:
+                        self._stalled[index] = now
+                        victims.append((index, batch, age))
+            for index, batch, age in victims:
+                worker = f"thread-{index}"
+                record_degradation(
+                    "serve.watchdog", worker, "stalled",
+                    f"batch outstanding {age:.3f}s > watchdog "
+                    f"{budget:g}s; thread flagged, batch failed")
+                if self.health is not None:
+                    self.health.mark_stalled(
+                        worker, note=f"batch outstanding {age:.3f}s "
+                                     f"> watchdog {budget:g}s")
+                _fail_batch(batch, WorkerStalledError(
+                    f"worker {worker} stalled: batch outstanding "
+                    f"{age:.3f}s exceeds the {budget:g}s watchdog budget "
+                    f"(thread workers cannot be killed; the batch is "
+                    f"failed and the thread flagged unhealthy)"),
+                    self.on_failure)
 
     def submit(self, batch: List[PredictionRequest]) -> None:
         """Hand a micro-batch to the next free worker (blocks for
@@ -287,6 +406,10 @@ class ThreadWorkerPool:
                 model.load_state_dict(state)
 
     def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout)
+            self._watchdog = None
         for _ in self._threads:
             self._tasks.put(self._STOP)
         for thread in self._threads:
@@ -298,22 +421,29 @@ class ThreadWorkerPool:
 # Process workers
 # ----------------------------------------------------------------------
 def _process_worker_main(worker_id: int, spec: PredictorSpec,
-                         group_size: int, task_q, result_q) -> None:
+                         group_size: int, task_q, result_q,
+                         heartbeat_s: float = 0.2) -> None:
     """Child entry point: build the private predictor, serve messages.
 
     Protocol (parent -> child): ``("predict", batch_id, cases)``,
     ``("swap", swap_id, state)``, ``("sleep", seconds)`` (chaos/testing
-    hook: occupies the worker so liveness handling can be exercised
-    deterministically), ``("stop",)``.
-    Child -> parent: ``("ready", wid)``, ``("done", wid, batch_id,
-    entries, model_version)`` with one tagged entry per case (see
-    :func:`_batch_entries`), ``("swapped", wid, swap_id,
+    hook: occupies the worker so liveness and watchdog handling can be
+    exercised deterministically), ``("stop",)``.
+    Child -> parent: ``("ready", wid)``, ``("beat", wid)`` heartbeats
+    emitted by the idle poll loop (a hung compute stops them — that is
+    the liveness signal, so no side thread may fake them), ``("done",
+    wid, batch_id, entries, model_version)`` with one tagged entry per
+    case (see :func:`_batch_entries`), ``("swapped", wid, swap_id,
     model_version)``, ``("error", wid, batch_id, text)``.
     """
     predictor = spec.build(group_size=group_size)
     result_q.put(("ready", worker_id))
     while True:
-        message = task_q.get()
+        try:
+            message = task_q.get(timeout=heartbeat_s)
+        except _stdlib_queue.Empty:
+            result_q.put(("beat", worker_id))
+            continue
         kind = message[0]
         if kind == "stop":
             return
@@ -359,6 +489,9 @@ class _ProcessWorker:
         self.process = process
         self.task_q = task_q
         self.ready = threading.Event()
+        # set by the watchdog just before the force-kill so the reaper
+        # can tell a stall-kill from an organic death (error taxonomy)
+        self.stalled = False
 
     @property
     def name(self) -> str:
@@ -377,11 +510,17 @@ class ProcessWorkerPool:
     """
 
     def __init__(self, spec: PredictorSpec, config: ServeConfig,
-                 on_result: Optional[ResultCallback] = None):
+                 on_result: Optional[ResultCallback] = None,
+                 on_failure: Optional[FailureCallback] = None,
+                 guard: Optional[OutputGuard] = None,
+                 health: Optional[HealthMonitor] = None):
         import multiprocessing
 
         self.config = config
         self.on_result = on_result
+        self.on_failure = on_failure
+        self.guard = guard
+        self.health = health
         self._spec = spec
         self._ctx = multiprocessing.get_context(config.mp_context)
         self._result_q = self._ctx.Queue()
@@ -394,7 +533,10 @@ class ProcessWorkerPool:
         self._pending: Deque[Tuple[float, List[PredictionRequest]]] = deque()
         self._backoff = BackoffPolicy(base_s=config.backoff_base_s,
                                       cap_s=config.backoff_cap_s)
-        self._outstanding: Dict[int, Tuple[int, List[PredictionRequest]]] = {}
+        # worker_id -> (batch_id, batch, dispatch perf_counter): the
+        # timestamp is what the hung-worker watchdog ages against
+        self._outstanding: Dict[
+            int, Tuple[int, List[PredictionRequest], float]] = {}
         self._swap_acks: Dict[int, set] = {}
         # latest hot-swapped weights; respawned workers (built from the
         # original spec) must catch up before serving anything
@@ -435,7 +577,7 @@ class ProcessWorkerPool:
         process = self._ctx.Process(
             target=_process_worker_main,
             args=(worker_id, self._spec, self.config.max_batch,
-                  task_q, self._result_q),
+                  task_q, self._result_q, self.config.heartbeat_s),
             daemon=True)
         process.start()
         worker = _ProcessWorker(worker_id, process, task_q)
@@ -445,6 +587,8 @@ class ProcessWorkerPool:
             task_q.put(("swap", -1, self._swap_state))
         self._workers[worker_id] = worker
         self._idle.append(worker_id)
+        if self.health is not None:
+            self.health.register(worker.name)
         return worker
 
     # ------------------------------------------------------------------
@@ -467,6 +611,7 @@ class ProcessWorkerPool:
     def _dispatch_locked(self) -> None:
         now = time.perf_counter()
         index = 0
+        deferred: List[int] = []
         while self._idle and index < len(self._pending):
             ready_at, batch = self._pending[index]
             if ready_at > now:
@@ -476,13 +621,22 @@ class ProcessWorkerPool:
             worker = self._workers.get(worker_id)
             if worker is None or not worker.alive():
                 continue  # monitor will reap it; batch stays pending
+            if not worker.ready.is_set():
+                # a respawn still building its model: handing it work now
+                # would start the batch's watchdog clock on init time and
+                # get the replacement killed in turn — keep it idle, the
+                # monitor loop redispatches once it reports ready
+                deferred.append(worker_id)
+                continue
             del self._pending[index]
             batch_id = self._next_batch_id
             self._next_batch_id += 1
-            self._outstanding[worker_id] = (batch_id, batch)
+            self._outstanding[worker_id] = (batch_id, batch,
+                                            time.perf_counter())
             worker.task_q.put(
                 ("predict", batch_id,
                  [request.case for request in batch]))
+        self._idle.extend(deferred)
 
     # ------------------------------------------------------------------
     def _monitor_loop(self) -> None:
@@ -499,19 +653,63 @@ class ProcessWorkerPool:
                 message = None
             if message is not None:
                 self._handle_message(message)
+            self._watchdog_sweep()
             self._reap_dead()
             with self._lock:
                 # flush retries whose backoff window has elapsed
                 if self._pending and self._idle:
                     self._dispatch_locked()
 
+    def _watchdog_sweep(self) -> None:
+        """Force-kill workers whose batch is outstanding past the
+        watchdog budget; the reaper then routes the batch through the
+        normal backoff/re-dispatch/respawn path."""
+        budget = self.config.watchdog_s
+        if budget is None:
+            return
+        now = time.perf_counter()
+        victims: List[Tuple[_ProcessWorker, float]] = []
+        with self._lock:
+            for worker_id, (_, _, dispatched_at) in \
+                    list(self._outstanding.items()):
+                worker = self._workers.get(worker_id)
+                if worker is None or worker.stalled:
+                    continue
+                age = now - dispatched_at
+                if age > budget:
+                    worker.stalled = True
+                    victims.append((worker, age))
+        for worker, age in victims:
+            record_degradation(
+                "serve.watchdog", worker.name, "killed",
+                f"batch outstanding {age:.3f}s > watchdog {budget:g}s; "
+                f"force-killing the hung worker")
+            if self.health is not None:
+                self.health.mark_stalled(
+                    worker.name,
+                    note=f"batch outstanding {age:.3f}s > watchdog "
+                         f"{budget:g}s; killed")
+            try:
+                worker.process.kill()
+            except (OSError, ValueError):  # already gone
+                pass
+
     def _handle_message(self, message) -> None:
         kind = message[0]
+        if kind == "beat":
+            if self.health is not None:
+                with self._lock:
+                    worker = self._workers.get(message[1])
+                if worker is not None:
+                    self.health.beat(worker.name)
+            return
         if kind == "ready":
             with self._lock:
                 worker = self._workers.get(message[1])
             if worker is not None:
                 worker.ready.set()
+                if self.health is not None:
+                    self.health.beat(worker.name)
             return
         if kind == "swapped":
             _, worker_id, swap_id, _version = message
@@ -526,18 +724,23 @@ class ProcessWorkerPool:
                 if entry is None or entry[0] != batch_id:
                     return  # stale (pre-respawn) message
                 del self._outstanding[worker_id]
-                _, batch = entry
+                batch = entry[1]
                 if worker_id in self._workers:
                     self._idle.append(worker_id)
                 self._dispatch_locked()
                 self._lock.notify_all()
             worker_name = f"process-{worker_id}"
+            if self.health is not None:
+                # a completed message is the strongest liveness proof
+                self.health.beat(worker_name)
             if kind == "done":
                 _resolve_batch(batch, message[3], worker_name,
-                               message[4], self.on_result)
+                               message[4], self.on_result,
+                               guard=self.guard, on_failure=self.on_failure)
             else:
                 _fail_batch(batch, PredictionFailedError(
-                    f"worker {worker_name} failed: {message[3]}"))
+                    f"worker {worker_name} failed: {message[3]}"),
+                    self.on_failure)
 
     def _reap_dead(self) -> None:
         to_fail: List[Tuple[List[PredictionRequest], BaseException]] = []
@@ -551,18 +754,34 @@ class ProcessWorkerPool:
                 _discard_queue(worker.task_q)
                 if worker.id in self._idle:
                     self._idle.remove(worker.id)
+                if self.health is not None:
+                    self.health.remove(
+                        worker.name,
+                        note=("killed by watchdog" if worker.stalled
+                              else f"died (exitcode "
+                                   f"{worker.process.exitcode})"))
                 entry = self._outstanding.pop(worker.id, None)
                 if entry is not None:
-                    _, batch = entry
+                    batch = entry[1]
                     for request in batch:
                         request.attempts += 1
                     if batch and batch[0].attempts > self.config.retries:
-                        to_fail.append((batch, WorkerDiedError(
-                            f"worker {worker.name} died "
-                            f"(exitcode {worker.process.exitcode}) and "
-                            f"retries are exhausted "
-                            f"(attempts={batch[0].attempts}, "
-                            f"retries={self.config.retries})")))
+                        if worker.stalled:
+                            death: ServeError = WorkerStalledError(
+                                f"worker {worker.name} hung past the "
+                                f"{self.config.watchdog_s:g}s watchdog, "
+                                f"was force-killed, and retries are "
+                                f"exhausted "
+                                f"(attempts={batch[0].attempts}, "
+                                f"retries={self.config.retries})")
+                        else:
+                            death = WorkerDiedError(
+                                f"worker {worker.name} died "
+                                f"(exitcode {worker.process.exitcode}) and "
+                                f"retries are exhausted "
+                                f"(attempts={batch[0].attempts}, "
+                                f"retries={self.config.retries})")
+                        to_fail.append((batch, death))
                     else:
                         # retry first, but only after a jittered backoff
                         # keyed on the request id (deterministic per
@@ -584,7 +803,7 @@ class ProcessWorkerPool:
                         self._respawns += 1
                         record_degradation(
                             "serve.pool", worker.name, "respawn",
-                            f"exitcode {worker.process.exitcode}; "
+                            f"{'watchdog-killed' if worker.stalled else 'exitcode ' + str(worker.process.exitcode)}; "
                             f"respawn {self._respawns}/"
                             f"{self.config.max_respawns}")
                         self._spawn_locked()
@@ -595,7 +814,7 @@ class ProcessWorkerPool:
             self._dispatch_locked()
             self._lock.notify_all()
         for batch, error in to_fail:
-            _fail_batch(batch, error)
+            _fail_batch(batch, error, self.on_failure)
 
     # ------------------------------------------------------------------
     def swap(self, state: Dict[str, np.ndarray],
@@ -670,7 +889,7 @@ class ProcessWorkerPool:
             self._monitor = None
         _discard_queue(self._result_q)
         with self._lock:
-            leftovers = [batch for _, batch in self._outstanding.values()]
+            leftovers = [entry[1] for entry in self._outstanding.values()]
             self._outstanding.clear()
             self._workers.clear()
             self._idle.clear()

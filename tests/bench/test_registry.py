@@ -37,7 +37,7 @@ class TestDefaultEntries:
         # the blocking CI tier is the numeric parity gates only
         assert _names(gating) == ["table1.parity", "solver.parity",
                                   "inference.parity", "serving.parity",
-                                  "ingest.parity"]
+                                  "ingest.parity", "serving.selfheal"]
         assert all(e.kind == "parity" for e in gating)
 
     def test_bad_tier_rejected(self):

@@ -1,6 +1,12 @@
 """Open-loop load-generator contracts: input validation, conservation of
-requests (offered == accepted + rejected, accepted == served + failed),
-and the metric summary the serving benchmark records."""
+requests (offered == accepted + rejected + shed, accepted == served +
+failed + expired), and the metric summary the serving benchmark
+records.  Shed (breaker open) and expired (deadline passed in queue)
+are distinct outcomes from genuine serving failures — the report must
+keep the taxonomy exact."""
+
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -36,9 +42,11 @@ def test_open_loop_serves_and_summarises(serve_spec, serve_cases):
         report = open_loop_load(service, serve_cases, rate_hz=200.0,
                                 total=total)
     assert report.offered == total
-    assert report.accepted + report.rejected == report.offered
-    assert report.served + report.failed == report.accepted
+    assert report.accepted + report.rejected + report.shed == report.offered
+    assert report.served + report.failed + report.expired == report.accepted
     assert report.failed == 0
+    assert report.shed == 0
+    assert report.expired == 0
     assert report.duration_s > 0
     assert report.throughput > 0
 
@@ -64,5 +72,61 @@ def test_empty_report_summary_has_no_percentiles():
     report = LoadReport()
     summary = report.summary()
     assert summary["served"] == 0.0
+    assert summary["shed"] == 0.0
+    assert summary["expired"] == 0.0
     assert "latency_p50_s" not in summary
     assert report.throughput == 0.0
+
+
+def test_open_loop_counts_breaker_sheds_distinctly(serve_spec, serve_cases):
+    """With the breaker forced open, every offer is shed — not rejected,
+    not failed — and the conservation identities still hold."""
+    config = ServeConfig(workers=1, queue_capacity=64,
+                         breaker_cooldown_s=600.0)
+    total = 8
+    with PredictionService(serve_spec, config) as service:
+        service.breaker.trip("test: forced open before the load")
+        report = open_loop_load(service, serve_cases, rate_hz=500.0,
+                                total=total)
+    assert report.shed == total
+    assert report.accepted == 0
+    assert report.rejected == 0
+    assert report.failed == 0
+    assert report.served == 0
+    assert report.accepted + report.rejected + report.shed == report.offered
+    assert report.summary()["shed"] == float(total)
+
+
+def test_open_loop_counts_deadline_expiries_distinctly(serve_spec,
+                                                       serve_cases):
+    """Requests queued past their deadline expire (typed) rather than
+    fail: offer against a not-yet-started service, let the deadlines
+    lapse, then start it — the scheduler expires everything on pop."""
+    config = ServeConfig(workers=1, queue_capacity=64, max_batch=4,
+                         batch_window_s=0.0, deadline_s=0.05,
+                         breaker_enabled=False)
+    service = PredictionService(serve_spec, config)
+    total = 6
+    holder = {}
+
+    def offer_and_collect():
+        holder["report"] = open_loop_load(
+            service, serve_cases, rate_hz=1000.0, total=total,
+            result_timeout=60.0)
+
+    thread = threading.Thread(target=offer_and_collect)
+    thread.start()
+    time.sleep(0.3)        # every queued deadline (50ms) has now lapsed
+    service.start()
+    thread.join(120.0)
+    assert not thread.is_alive()
+    service.stop()
+    report = holder["report"]
+    assert report.accepted == total
+    assert report.expired == total
+    assert report.failed == 0
+    assert report.served == 0
+    assert report.served + report.failed + report.expired == report.accepted
+    assert len(report.errors) == total
+    assert all("DeadlineExceededError" in line for line in report.errors)
+    assert report.summary()["expired"] == float(total)

@@ -172,3 +172,55 @@ class TestFailuresAndStats:
         assert stats["latency"]["count"] == len(serve_cases)
         for key in ("p50", "p90", "p99", "mean", "max"):
             assert stats["tat"][key] > 0
+        # the self-healing surfaces ride along on every report
+        assert stats["failed"] == 0
+        assert stats["shed"] == 0
+        assert stats["integrity_refused"] == 0
+        assert stats["health"]["state"] == "healthy"
+        assert stats["guard"]["checked"] == len(serve_cases)
+        assert stats["guard"]["refused"] == 0
+        assert stats["breaker"]["state"] == "closed"
+
+    def test_stats_snapshot_is_consistent_under_concurrent_records(
+            self, serve_spec, serve_cases):
+        """stats() snapshots counters *and* sample windows under one
+        lock: a served count from one instant may never pair with
+        latency samples from another."""
+        import threading
+
+        config = _config(queue_capacity=64, max_batch=2)
+        violations = []
+        stop = threading.Event()
+
+        def hammer(service):
+            while not stop.is_set():
+                stats = service.stats()
+                count = stats.get("latency", {}).get("count", 0)
+                # windows are far from full here, so a consistent
+                # snapshot has exactly one sample per served request
+                if count != stats["served"]:
+                    violations.append((count, stats["served"]))
+
+        with PredictionService(serve_spec, config) as service:
+            poller = threading.Thread(target=hammer, args=(service,))
+            poller.start()
+            tickets = [service.submit(serve_cases[i % len(serve_cases)])
+                       for i in range(24)]
+            for ticket in tickets:
+                ticket.result(timeout=60)
+            stop.set()
+            poller.join(30)
+        assert violations == []
+
+    def test_health_snapshot_surface(self, serve_spec, serve_cases):
+        with PredictionService(serve_spec, _config()) as service:
+            service.predict(serve_cases[0], timeout=60)
+            first = service.health()
+            second = service.health()
+        assert first.state == "healthy"
+        assert second.version == first.version + 1
+        assert [worker.worker for worker in first.workers] == ["thread-0"]
+        assert first.breaker == "closed"
+        payload = first.to_dict()
+        assert payload["state"] == "healthy"
+        assert payload["workers"][0]["worker"] == "thread-0"
