@@ -37,17 +37,38 @@ def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
 
 
+class GracefulShutdown(SystemExit):
+    """Raised by the signal handler on the interrupted (main) thread.
+
+    Subclasses ``SystemExit`` with code 0 — an operator signal is a
+    *clean* shutdown — and carries the signal name so the control flow
+    that catches it can report what triggered the drain.
+    """
+
+    def __init__(self, signame: str):
+        super().__init__(0)
+        self.signame = signame
+
+
 def install_signal_handlers(service: PredictionService,
                             drain_timeout_s: float,
                             signals=(signal.SIGTERM, signal.SIGINT)):
-    """Graceful shutdown on SIGTERM/SIGINT: drain with a deadline.
+    """Graceful shutdown on SIGTERM/SIGINT: request a drain-with-deadline.
 
-    The handler calls ``service.stop(drain=True, timeout=...)`` — every
-    admitted ticket resolves (served within the deadline, or failed with
-    a typed ``ServiceClosedError``) before the process exits 0.  An
-    operator SIGTERM is a *clean* shutdown, not an error.  Returns the
-    previous handlers so callers can restore them (must run on the main
-    thread — a CPython signal-handling constraint).
+    The handler itself is lock-free.  It must **not** call
+    ``service.stop()`` directly: the signal can land while the
+    interrupted main thread is inside ``submit()`` holding the service's
+    non-reentrant stats/queue locks, and ``stop()`` re-acquiring them
+    from the same thread would deadlock the shutdown instead of
+    draining.  Instead the handler raises :class:`GracefulShutdown` (a
+    ``SystemExit``): the interrupted frame unwinds — releasing whatever
+    locks it held — and normal control flow (``except GracefulShutdown``
+    in :func:`main`, mirrored by the shutdown tests) runs
+    ``service.stop(drain=True, timeout=drain_timeout_s)`` on a clean
+    stack, resolving every admitted ticket.  Repeat signals during the
+    drain are ignored, not re-entered.  Returns the previous handlers so
+    callers can restore them (must run on the main thread — a CPython
+    signal-handling constraint).
     """
     previous = {}
 
@@ -56,14 +77,9 @@ def install_signal_handlers(service: PredictionService,
         print(f"{name}: draining admitted requests "
               f"(deadline {drain_timeout_s:g}s) ...",
               file=sys.stderr, flush=True)
-        # re-entrant signals during the drain must not re-enter stop()
         for sig in previous:
             signal.signal(sig, signal.SIG_IGN)
-        service.stop(drain=True, timeout=drain_timeout_s)
-        stats = service.stats()
-        print(f"drained: served={stats['served']} "
-              f"failed={stats['failed']}", file=sys.stderr, flush=True)
-        raise SystemExit(0)
+        raise GracefulShutdown(name)
 
     for sig in signals:
         previous[sig] = signal.signal(sig, _handler)
@@ -173,12 +189,24 @@ def main(argv=None) -> int:
     service = PredictionService(spec, config)
     previous = install_signal_handlers(service, config.drain_s)
     try:
-        with service:
+        service.start()
+        try:
             report = open_loop_load(service, cases, rate_hz=args.rate,
                                     total=args.requests)
             health = service.health()
             stats = service.stats()
+        except GracefulShutdown:
+            # the handler only unwound the interrupted frame (lock-free
+            # by design); the drain itself runs here, on a clean stack
+            service.stop(drain=True, timeout=config.drain_s)
+            stats = service.stats()
+            print(f"drained: served={stats['served']} "
+                  f"failed={stats['failed']}",
+                  file=sys.stderr, flush=True)
+            return 0
+        service.stop(drain=True, timeout=config.drain_s)
     finally:
+        service.stop()
         for sig, old in previous.items():
             signal.signal(sig, old)
 

@@ -11,7 +11,13 @@ rate over at least ``min_requests`` observations reaches ``threshold``,
 After ``cooldown_s`` the breaker *half-opens* and lets up to ``probes``
 requests through; one probe success closes it (window cleared — old
 failures don't instantly re-trip), one probe failure re-opens it for
-another cooldown.  Every transition is recorded on the process-wide
+another cooldown.  A probe admission that resolves through a
+breaker-exempt path (shed at the queue, deadline-expired before
+dispatch, shutdown) never records an outcome — callers give the slot
+back via :meth:`CircuitBreaker.release`, and a ``probe_timeout_s``
+backstop re-arms slots whose outcome never landed at all, so the
+breaker can never wedge in half-open with every probe "in flight"
+forever.  Every transition is recorded on the process-wide
 :class:`~repro.faults.degrade.DegradationLog` under component
 ``serve.breaker``, so chaos soaks and operators see the same ledger.
 
@@ -55,7 +61,8 @@ class CircuitBreaker:
 
     def __init__(self, window: int = 32, threshold: float = 0.5,
                  min_requests: int = 8, cooldown_s: float = 1.0,
-                 probes: int = 1, name: str = "serve.breaker"):
+                 probes: int = 1, probe_timeout_s: Optional[float] = None,
+                 name: str = "serve.breaker"):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         if not 0.0 < threshold <= 1.0:
@@ -68,17 +75,28 @@ class CircuitBreaker:
             raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
         if probes < 1:
             raise ValueError(f"probes must be >= 1, got {probes}")
+        if probe_timeout_s is not None and probe_timeout_s <= 0:
+            raise ValueError(
+                f"probe_timeout_s must be positive or None, "
+                f"got {probe_timeout_s}")
         self.window = int(window)
         self.threshold = float(threshold)
         self.min_requests = int(min_requests)
         self.cooldown_s = float(cooldown_s)
         self.probes = int(probes)
+        # backstop against leaked probe slots (see release()): generous
+        # by default — a real probe resolves within a request lifetime,
+        # so only a slot whose outcome was lost ever ages this long
+        self.probe_timeout_s = (float(probe_timeout_s)
+                                if probe_timeout_s is not None
+                                else max(30.0, 4.0 * self.cooldown_s))
         self.name = name
         self._lock = threading.Lock()
         self._outcomes: Deque[bool] = deque(maxlen=self.window)
         self._state = "closed"
         self._open_until = 0.0
         self._probes_inflight = 0
+        self._probe_granted_at = 0.0
         self._trips = 0
         self._shed = 0
 
@@ -102,6 +120,7 @@ class CircuitBreaker:
                 "window": len(self._outcomes),
                 "trips": self._trips,
                 "shed": self._shed,
+                "probes_inflight": self._probes_inflight,
             }
 
     def _rate_locked(self) -> float:
@@ -122,6 +141,7 @@ class CircuitBreaker:
             if self._state == "half_open" \
                     and self._probes_inflight < self.probes:
                 self._probes_inflight += 1
+                self._probe_granted_at = now
                 return
             self._shed += 1
             raise CircuitOpenError(self._rate_locked(), len(self._outcomes),
@@ -152,6 +172,26 @@ class CircuitBreaker:
                     f"{self.threshold:.0%} over {len(self._outcomes)} "
                     f"requests (last: {why})")
 
+    def release(self) -> None:
+        """Return an admission slot whose request will never record an
+        outcome on the breaker.
+
+        An admission granted by :meth:`allow` in half-open consumes a
+        probe slot that is normally returned by :meth:`record_success` /
+        :meth:`record_failure` (via the close/re-open transitions).  A
+        request that instead resolves through a breaker-exempt path —
+        rejected by the queue right after admission, deadline-expired
+        before dispatch, failed by shutdown — records neither, and
+        without this hook the breaker would sit half-open with every
+        probe slot consumed forever, shedding all traffic while no
+        admitted request can ever report back.  Safe to call for
+        non-probe admissions: only a half-open breaker with slots in
+        flight is affected.
+        """
+        with self._lock:
+            if self._state == "half_open" and self._probes_inflight > 0:
+                self._probes_inflight -= 1
+
     def trip(self, reason: str) -> None:
         """Force the breaker open regardless of the window (used by the
         online audit when served output diverges from the golden
@@ -167,6 +207,18 @@ class CircuitBreaker:
                                     f"cooldown {self.cooldown_s:g}s "
                                     f"elapsed; admitting probe(s)")
             self._probes_inflight = 0
+        if self._state == "half_open" and self._probes_inflight > 0 \
+                and now - self._probe_granted_at > self.probe_timeout_s:
+            # backstop against a leaked slot that escaped release():
+            # without it a lost probe outcome wedges the breaker in
+            # half-open permanently, with no admission left to recover it
+            record_degradation(
+                self.name, "half_open", "half_open",
+                f"no probe outcome recorded within "
+                f"{self.probe_timeout_s:g}s; re-arming "
+                f"{self._probes_inflight} probe slot(s)")
+            self._probes_inflight = 0
+            self._probe_granted_at = now
 
     def _open_locked(self, reason: str) -> None:
         self._transition_locked("open", reason)

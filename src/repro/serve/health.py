@@ -238,18 +238,13 @@ class HealthMonitor:
                 if _worse(state, worst):
                     worst = state
                     detail = f"worker {name}: {why or record.note}"
-            if pool_failed:
-                service, detail = "unhealthy", f"pool failed: {pool_failed}"
-            elif not workers:
-                service, detail = "unhealthy", "no live workers"
-            elif breaker == "open":
-                service, detail = "unhealthy", "circuit breaker open"
-            elif worst != "healthy":
-                service = "degraded" if worst == "degraded" else "unhealthy"
-            elif breaker == "half_open":
-                service, detail = "degraded", "circuit breaker half-open"
-            else:
-                service, detail = "healthy", ""
+            service, why = _rollup(worst, bool(workers), breaker,
+                                   pool_failed)
+            if why:
+                detail = why
+            elif service == "healthy":
+                detail = ""
+            # else: keep the worst worker's detail computed in the loop
             if service != self._service_state:
                 self._transition_locked("service", self._service_state,
                                         service, detail, now)
@@ -260,9 +255,15 @@ class HealthMonitor:
                 queue_depth=int(queue_depth), deaths=self._deaths,
                 suppressed_beats=self._suppressed, detail=detail)
 
-    def summary(self) -> Dict[str, object]:
+    def summary(self, breaker: Optional[str] = None,
+                pool_failed: Optional[str] = None) -> Dict[str, object]:
         """Light rollup for ``stats()`` — no version bump, no timeline
-        writes, just the current states."""
+        writes.  The service state is computed from the *freshly*
+        evaluated per-worker states (plus the breaker/pool inputs when
+        given), never echoed from the last :meth:`snapshot`: that cache
+        only moves when somebody polls ``health()``, and a summary that
+        says "healthy" next to all-stalled worker counts is exactly the
+        inconsistency this avoids."""
         now = time.perf_counter()
         with self._lock:
             by_state = {state: 0 for state in WORKER_STATES}
@@ -272,7 +273,8 @@ class HealthMonitor:
                 by_state[state] += 1
                 if _worse(state, worst):
                     worst = state
-            service = self._service_state
+            service, _ = _rollup(worst, bool(self._workers), breaker,
+                                 pool_failed)
             return {"state": service, "workers": by_state,
                     "deaths": self._deaths,
                     "suppressed_beats": self._suppressed}
@@ -304,3 +306,22 @@ class HealthMonitor:
 def _worse(candidate: str, incumbent: str) -> bool:
     order = {state: rank for rank, state in enumerate(WORKER_STATES)}
     return order[candidate] > order[incumbent]
+
+
+def _rollup(worst: str, have_workers: bool, breaker: Optional[str],
+            pool_failed: Optional[str]) -> Tuple[str, str]:
+    """Service state from the worst worker plus breaker/pool inputs —
+    the one rollup rule shared by :meth:`HealthMonitor.snapshot` and
+    :meth:`HealthMonitor.summary`.  An empty reason for a non-healthy
+    state means "blame the worst worker" (the caller has its detail)."""
+    if pool_failed:
+        return "unhealthy", f"pool failed: {pool_failed}"
+    if not have_workers:
+        return "unhealthy", "no live workers"
+    if breaker == "open":
+        return "unhealthy", "circuit breaker open"
+    if worst != "healthy":
+        return ("degraded" if worst == "degraded" else "unhealthy"), ""
+    if breaker == "half_open":
+        return "degraded", "circuit breaker half-open"
+    return "healthy", ""

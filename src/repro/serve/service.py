@@ -187,7 +187,16 @@ class PredictionService:
         request = PredictionRequest(
             id=ticket.request_id, case=case, ticket=ticket,
             deadline=Deadline.after(budget) if budget is not None else None)
-        self.queue.submit(request)
+        try:
+            self.queue.submit(request)
+        except BaseException:
+            # admission was granted (possibly consuming a half-open
+            # probe slot) but the request never entered the queue, so no
+            # outcome will ever reach the breaker — give the slot back
+            # or half-open wedges with every probe "in flight" forever
+            if self.breaker is not None:
+                self.breaker.release()
+            raise
         with self._stats_lock:
             # keep the drain list from growing without bound on a
             # long-lived daemon: completed heads are no longer awaited
@@ -213,6 +222,8 @@ class PredictionService:
             f"{waited:.3f}s in queue; deadline passed before dispatch"))
         with self._stats_lock:
             self._expired += 1
+        if self.breaker is not None:
+            self.breaker.release()  # expiry is exempt: no outcome lands
         return True
 
     def _scheduler_loop(self) -> None:
@@ -274,9 +285,14 @@ class PredictionService:
             self._failed += 1
             if isinstance(error, IntegrityError):
                 self._integrity_refused += 1
-        if self.breaker is not None \
-                and not isinstance(error, _BREAKER_EXEMPT):
-            self.breaker.record_failure(error)
+        if self.breaker is not None:
+            if isinstance(error, _BREAKER_EXEMPT):
+                # lifecycle outcome: no breaker evidence either way, but
+                # the admission slot it consumed (possibly a half-open
+                # probe) must be returned so a future probe can resolve
+                self.breaker.release()
+            else:
+                self.breaker.record_failure(error)
 
     def _on_divergence(self, record: AuditRecord) -> None:
         """Online audit found a served map off the golden solver: the
@@ -347,7 +363,13 @@ class PredictionService:
             "workers": self.pool.worker_count,
             "worker_kind": self.config.worker_kind,
             "degradations": default_log().counts(),
-            "health": self.health_monitor.summary(),
+            # the summary's service state is computed fresh from the
+            # per-worker records plus the live breaker/pool inputs —
+            # never echoed from the last health() poll, which may be
+            # arbitrarily stale (or never have happened)
+            "health": self.health_monitor.summary(
+                breaker=None if self.breaker is None else self.breaker.state,
+                pool_failed=getattr(self.pool, "_failed", None)),
             "guard": self.guard.stats(),
         }
         if self.breaker is not None:
@@ -380,13 +402,13 @@ class PredictionService:
         if not self._started:
             # nothing will ever serve what was pre-submitted: fail loudly
             for request in self.queue.drain_pending():
-                request.ticket.fail(ServiceClosedError(
-                    "service stopped before it was started"))
+                self._fail_closed(request,
+                                  "service stopped before it was started")
             return
         if not drain:
             for request in self.queue.drain_pending():
-                request.ticket.fail(ServiceClosedError(
-                    "service stopped without draining the queue"))
+                self._fail_closed(
+                    request, "service stopped without draining the queue")
         if self._scheduler is not None:
             self._scheduler.join(timeout)
             self._scheduler = None
@@ -405,5 +427,15 @@ class PredictionService:
         # before the scheduler emptied the queue) must not leak
         for request in self.queue.drain_pending():
             if not request.ticket.done():
-                request.ticket.fail(ServiceClosedError(
-                    "service stopped before the request was scheduled"))
+                self._fail_closed(
+                    request,
+                    "service stopped before the request was scheduled")
+
+    def _fail_closed(self, request: PredictionRequest,
+                     message: str) -> None:
+        """Fail an admitted-but-never-served request at shutdown and
+        return its breaker admission slot (shutdown is exempt — no
+        outcome will ever be recorded for the request)."""
+        request.ticket.fail(ServiceClosedError(message))
+        if self.breaker is not None:
+            self.breaker.release()

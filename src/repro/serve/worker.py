@@ -291,10 +291,12 @@ class ThreadWorkerPool:
             maxsize=config.workers)
         self._threads: List[threading.Thread] = []
         self._swap_lock = _RWLock()
-        # index -> (dispatch perf_counter, batch): what each thread holds
+        # index -> (dispatch perf_counter, batch): what each thread
+        # holds; the timestamp is None while the thread is still waiting
+        # on the swap read-lock (owned but not yet on the watchdog clock)
         self._state_lock = threading.Lock()
-        self._outstanding: Dict[int, Tuple[float, List[PredictionRequest]]] \
-            = {}
+        self._outstanding: Dict[
+            int, Tuple[Optional[float], List[PredictionRequest]]] = {}
         self._stalled: Dict[int, float] = {}
         self._stop_event = threading.Event()
         self._watchdog: Optional[threading.Thread] = None
@@ -333,8 +335,18 @@ class ThreadWorkerPool:
             if batch is self._STOP:
                 return
             with self._state_lock:
-                self._outstanding[index] = (time.perf_counter(), batch)
+                # own the batch for shutdown accounting immediately, but
+                # with no timestamp: the watchdog clock must not start
+                # while the thread is queued behind a hot-swap writer —
+                # swap wait is not compute time, and counting it would
+                # fail innocent batches (and flag healthy threads) on a
+                # slow swap, the same misattribution the process pool
+                # avoids for respawns by deferring dispatch to ready
+                # workers
+                self._outstanding[index] = (None, batch)
             with self._swap_lock.read():
+                with self._state_lock:
+                    self._outstanding[index] = (time.perf_counter(), batch)
                 entries = _batch_entries(
                     predictor, [request.case for request in batch])
                 version = predictor.model.state_version
@@ -366,6 +378,8 @@ class ThreadWorkerPool:
             victims: List[Tuple[int, List[PredictionRequest], float]] = []
             with self._state_lock:
                 for index, (started, batch) in self._outstanding.items():
+                    if started is None:
+                        continue  # still queued behind a hot-swap writer
                     age = now - started
                     if index not in self._stalled and age > budget:
                         self._stalled[index] = now
@@ -406,15 +420,54 @@ class ThreadWorkerPool:
                 model.load_state_dict(state)
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Stop the pool; every batch it still holds resolves.
+
+        Threads cannot be killed, so shutdown totality is enforced here:
+        queued-but-undispatched batches are pulled back (with every
+        thread potentially wedged, nothing would ever pick them up), and
+        after the join deadline any batch still held by a thread that
+        did not exit is failed with
+        :class:`~repro.serve.queue.ServiceClosedError`.  A wedged
+        forward that eventually returns resolves against already-done
+        tickets — a no-op.
+        """
         self._stop_event.set()
         if self._watchdog is not None:
             self._watchdog.join(timeout)
             self._watchdog = None
+        undispatched: List[List[PredictionRequest]] = []
+        while True:
+            try:
+                item = self._tasks.get_nowait()
+            except _stdlib_queue.Empty:
+                break
+            if item is not self._STOP:
+                undispatched.append(item)
         for _ in self._threads:
             self._tasks.put(self._STOP)
+        deadline = time.perf_counter() + timeout
         for thread in self._threads:
-            thread.join(timeout)
+            thread.join(max(0.0, deadline - time.perf_counter()))
+        wedged = [thread for thread in self._threads if thread.is_alive()]
         self._threads = []
+        for thread in wedged:
+            record_degradation(
+                "serve.pool", thread.name, "wedged",
+                f"thread still alive {timeout:g}s after stop; "
+                f"failing its in-flight tickets")
+        with self._state_lock:
+            held = [(index, batch) for index, (_, batch)
+                    in self._outstanding.items()]
+            self._outstanding.clear()
+            self._stalled.clear()
+        for batch in undispatched:
+            _fail_batch(batch, ServiceClosedError(
+                "service stopped before the batch reached a worker"))
+        for index, batch in held:
+            _fail_batch(batch, ServiceClosedError(
+                f"service stopped while thread-{index} held the batch "
+                f"and the worker did not finish within the {timeout:g}s "
+                f"stop deadline"))
 
 
 # ----------------------------------------------------------------------

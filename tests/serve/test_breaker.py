@@ -18,6 +18,7 @@ from repro.faults.plan import FaultPlan, FaultRule, InjectedFaultError
 from repro.faults.points import inject
 from repro.serve.breaker import CircuitBreaker, CircuitOpenError
 from repro.serve.config import ServeConfig
+from repro.serve.queue import BackpressureError
 from repro.serve.service import PredictionService
 
 
@@ -93,6 +94,76 @@ def test_half_open_probe_failure_reopens():
     assert breaker.stats()["trips"] == 2
 
 
+def test_release_returns_probe_slot_instead_of_leaking_it():
+    """A probe admission that resolves through a breaker-exempt path
+    (shed at the queue, deadline-expired, shutdown) records no outcome;
+    release() must hand the slot back or half-open wedges forever."""
+    breaker = CircuitBreaker(window=8, threshold=0.5, min_requests=4,
+                             cooldown_s=0.05, probes=1)
+    breaker.release()                    # no-op while closed
+    assert breaker.state == "closed"
+    for _ in range(4):
+        breaker.record_failure(RuntimeError("boom"))
+    time.sleep(0.08)
+    assert breaker.state == "half_open"
+    breaker.allow()                      # the probe slot
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+    breaker.release()                    # exempt outcome: slot given back
+    assert breaker.stats()["probes_inflight"] == 0
+    breaker.allow()                      # a fresh probe is admitted
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_leaked_probe_slot_rearms_after_probe_timeout():
+    """Backstop: even if a release() call is missed entirely, the
+    half-open state must re-arm its probe slots after probe_timeout_s
+    instead of shedding every future request until restart."""
+    breaker = CircuitBreaker(window=8, threshold=0.5, min_requests=4,
+                             cooldown_s=0.02, probes=1,
+                             probe_timeout_s=0.05)
+    for _ in range(4):
+        breaker.record_failure(RuntimeError("boom"))
+    time.sleep(0.04)
+    breaker.allow()                      # slot consumed, outcome lost
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+    time.sleep(0.08)                     # > probe_timeout_s
+    breaker.allow()                      # re-armed, not wedged
+    breaker.record_success()
+    assert breaker.state == "closed"
+    events = default_log().events("serve.breaker")
+    assert any("re-arming" in event.reason for event in events)
+
+
+def test_backpressure_after_probe_admission_does_not_wedge_breaker(
+        serve_spec, serve_cases):
+    """The review wedge scenario end to end: BackpressureError raised by
+    the queue right after allow() granted the half-open probe must give
+    the slot back, keeping future probes admissible."""
+    config = ServeConfig(workers=1, queue_capacity=1, breaker_enabled=True,
+                         breaker_window=8, breaker_threshold=0.5,
+                         breaker_min_requests=4, breaker_cooldown_s=0.05,
+                         breaker_probes=1)
+    # not started on purpose: admission works pre-start, so the single
+    # queue slot can be filled deterministically
+    service = PredictionService(serve_spec, config)
+    try:
+        service.submit(serve_cases[0])       # occupies the only slot
+        for _ in range(4):
+            service.breaker.record_failure(RuntimeError("boom"))
+        assert service.breaker.state == "open"
+        time.sleep(0.08)
+        assert service.breaker.state == "half_open"
+        for _ in range(3):  # every attempt hits the full queue, exempt
+            with pytest.raises(BackpressureError):
+                service.submit(serve_cases[1])
+            assert service.breaker.stats()["probes_inflight"] == 0
+    finally:
+        service.stop()
+
+
 def test_forced_trip_opens_regardless_of_window():
     breaker = CircuitBreaker(cooldown_s=60.0)
     breaker.record_success()
@@ -104,7 +175,8 @@ def test_forced_trip_opens_regardless_of_window():
 
 def test_validation():
     for kwargs in ({"window": 0}, {"threshold": 0.0}, {"threshold": 1.5},
-                   {"min_requests": 0}, {"cooldown_s": -1.0}, {"probes": 0}):
+                   {"min_requests": 0}, {"cooldown_s": -1.0}, {"probes": 0},
+                   {"probe_timeout_s": 0.0}):
         with pytest.raises(ValueError):
             CircuitBreaker(**kwargs)
 

@@ -147,6 +147,26 @@ def test_summary_is_light_and_does_not_bump_version():
     assert monitor.snapshot().version == before + 1  # summary cost nothing
 
 
+def test_summary_state_is_fresh_not_snapshot_cache():
+    """summary()'s service state is computed from the live per-worker
+    records, never echoed from the last snapshot(): a stats() poll must
+    not say "healthy" next to all-stalled worker counts just because
+    nobody called health() since the stall."""
+    monitor = HealthMonitor(stale_after_s=60.0)
+    monitor.register("thread-0")
+    assert monitor.snapshot().state == "healthy"  # caches "healthy"
+    monitor.mark_stalled("thread-0")
+    assert monitor.summary()["state"] == "unhealthy"
+    monitor.mark_recovered("thread-0")
+    assert monitor.summary()["state"] == "healthy"
+    # breaker / pool inputs participate in the rollup, as in snapshot()
+    assert monitor.summary(breaker="open")["state"] == "unhealthy"
+    assert monitor.summary(breaker="half_open")["state"] == "degraded"
+    assert monitor.summary(
+        pool_failed="respawns exhausted")["state"] == "unhealthy"
+    assert HealthMonitor().summary()["state"] == "unhealthy"  # no workers
+
+
 def test_validation():
     with pytest.raises(ValueError):
         HealthMonitor(stale_after_s=0.0)

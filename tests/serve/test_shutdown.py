@@ -5,19 +5,31 @@ purpose — the contract is that no ticket leaks (everything is fulfilled
 or typed-failed), no resolution happens twice, and the scheduler thread
 provably exits.  The signal tests install the real SIGTERM/SIGINT
 handlers from ``python -m repro.serve`` and raise the signal at
-ourselves: the handler drains, resolves 100% of admitted tickets, and
-exits 0.
+ourselves: the handler is lock-free (it only raises
+:class:`GracefulShutdown` on the interrupted thread — calling ``stop()``
+from the handler would deadlock against locks the interrupted frame
+holds), and the drain that follows on the clean stack resolves 100% of
+admitted tickets and exits 0.
 """
 
 import signal
+import time
 
 import numpy as np
 import pytest
 
-from repro.serve.__main__ import install_signal_handlers
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.points import inject
+from repro.serve.__main__ import GracefulShutdown, install_signal_handlers
 from repro.serve.config import ServeConfig
-from repro.serve.queue import BackpressureError, ServiceClosedError
+from repro.serve.queue import (
+    BackpressureError,
+    PredictionRequest,
+    PredictionTicket,
+    ServiceClosedError,
+)
 from repro.serve.service import PredictionService
+from repro.serve.worker import ThreadWorkerPool
 
 
 def test_stop_without_drain_races_dispatch_without_leaks(serve_spec,
@@ -79,8 +91,10 @@ def test_stop_with_drain_serves_everything_admitted(serve_spec, serve_cases):
 @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
 def test_signal_handler_drains_and_exits_zero(serve_spec, serve_cases,
                                               signum, capsys):
-    """The installed handler drains admitted work and raises
-    SystemExit(0) — an operator signal is a clean shutdown."""
+    """The handler raises GracefulShutdown (SystemExit, code 0) on the
+    interrupted thread; the clean-stack control flow that catches it —
+    here the test, in production ``main()`` — runs the drain and
+    resolves 100% of admitted tickets."""
     config = ServeConfig(workers=1, queue_capacity=32, max_batch=4,
                          batch_window_s=0.001, breaker_enabled=False)
     service = PredictionService(serve_spec, config).start()
@@ -90,17 +104,81 @@ def test_signal_handler_drains_and_exits_zero(serve_spec, serve_cases,
         with pytest.raises(SystemExit) as excinfo:
             signal.raise_signal(signum)
         assert excinfo.value.code == 0
+        assert isinstance(excinfo.value, GracefulShutdown)
+        assert excinfo.value.signame == signal.Signals(signum).name
+        # the production control flow: drain on the clean stack
+        service.stop(drain=True, timeout=120.0)
         # 100% of admitted tickets resolved — all served, none leaked
         results = [ticket.result(0.0) for ticket in tickets]
         assert len(results) == len(tickets)
         err = capsys.readouterr().err
         assert signal.Signals(signum).name in err
         assert "draining admitted requests" in err
-        assert f"drained: served={len(results)}" in err
+        # repeat signals during the drain are ignored, never re-entered
+        signal.raise_signal(signum)
     finally:
         for sig, old in previous.items():
             signal.signal(sig, old)
-        service.stop()  # idempotent: already stopped by the handler
+        service.stop()  # idempotent: already stopped above
+
+
+def test_signal_handler_is_lock_free_under_held_service_locks(serve_spec,
+                                                              serve_cases):
+    """A signal landing while the main thread holds the service's stats
+    lock (exactly what an interrupted ``submit()`` holds) must not
+    deadlock: the handler only raises, and the drain succeeds after the
+    interrupted frame unwinds and releases the lock."""
+    config = ServeConfig(workers=1, queue_capacity=8,
+                         breaker_enabled=False)
+    service = PredictionService(serve_spec, config).start()
+    previous = install_signal_handlers(service, drain_timeout_s=5.0)
+    try:
+        ticket = service.submit(serve_cases[0])
+        with pytest.raises(GracefulShutdown):
+            with service._stats_lock:
+                signal.raise_signal(signal.SIGTERM)
+        # before the lock-free handler this stop() deadlocked forever
+        # against the lock the interrupted frame was holding
+        service.stop(drain=True, timeout=60.0)
+        assert ticket.result(0.0) is not None
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        service.stop()
+
+
+def test_thread_pool_stop_fails_wedged_batches(serve_spec, serve_cases):
+    """With the watchdog disabled (the default), a hung forward must
+    still not leak its tickets at shutdown: ``ThreadWorkerPool.stop``
+    fails whatever a wedged thread holds — and whatever never reached a
+    worker — after the join deadline."""
+    config = ServeConfig(workers=1, queue_capacity=8, max_batch=4,
+                         heartbeat_s=0.02, breaker_enabled=False)
+    assert config.watchdog_s is None
+    pool = ThreadWorkerPool(serve_spec, config)
+    pool.start()
+
+    def request(index, case):
+        return PredictionRequest(id=index, case=case,
+                                 ticket=PredictionTicket(index, case.name))
+
+    wedged = [request(0, serve_cases[0])]
+    queued = [request(1, serve_cases[1])]
+    plan = FaultPlan(seed=11, rules=[
+        FaultRule(point="serve.predict", action="delay", seconds=5.0,
+                  at=(1,), note="wedge the only worker")])
+    with inject(plan):
+        pool.submit(wedged)
+        deadline = time.perf_counter() + 30.0
+        while not pool._outstanding and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        assert pool._outstanding     # the worker owns the wedged batch
+        pool.submit(queued)          # sits undispatched: worker is busy
+        pool.stop(timeout=0.2)       # far below the 5s wedge
+    for item in wedged + queued:
+        assert item.ticket.done()    # no leaks: everything resolved
+        with pytest.raises(ServiceClosedError):
+            item.ticket.result(0.0)
 
 
 def test_signal_handlers_are_restorable(serve_spec):

@@ -80,6 +80,33 @@ def test_thread_stall_fails_typed_then_recovers(serve_spec, serve_cases):
     assert stalls[0].from_mode == "thread-0"
 
 
+def test_swap_wait_does_not_count_toward_watchdog(serve_spec, serve_cases):
+    """A batch queued behind a hot-swap writer must not age against the
+    watchdog budget: the stall clock starts when the swap read-lock is
+    acquired and the forward can actually run, so a slow swap can never
+    get innocent batches failed and healthy threads flagged."""
+    config = ServeConfig(workers=1, queue_capacity=16, max_batch=4,
+                         batch_window_s=0.0, watchdog_s=0.15,
+                         heartbeat_s=0.02, stale_after_s=30.0,
+                         breaker_enabled=False)
+    with PredictionService(serve_spec, config) as service:
+        with service.pool._swap_lock.write():   # a hot-swap in progress
+            ticket = service.submit(serve_cases[0])
+            # the worker owns the batch (shutdown accounting) but is
+            # blocked on the swap lock, off the watchdog clock
+            assert _wait_for(lambda: bool(service.pool._outstanding))
+            time.sleep(3 * config.watchdog_s)   # far past the budget
+            stalls = [event
+                      for event in default_log().events("serve.watchdog")
+                      if event.to_mode == "stalled"]
+            assert stalls == []                 # nobody falsely failed
+        result = ticket.result(30.0)            # served once the swap ends
+    direct, _ = serve_spec.build().predict_case(serve_cases[0])
+    assert np.array_equal(result.prediction, direct)
+    assert [event for event in default_log().events("serve.watchdog")
+            if event.to_mode == "stalled"] == []
+
+
 def _occupy_sole_worker(service, sleep_s=60.0):
     worker = next(iter(service.pool._workers.values()))
     worker.task_q.put(("sleep", sleep_s))
